@@ -1,0 +1,69 @@
+"""E5 — §4 ablation: functional dependencies of the correspondence
+condition, and the traversal baseline's register-correspondence reduction.
+
+The paper: "If the detection of functional dependencies is disabled, the
+symbolic traversal method performs considerably worse."
+"""
+
+import pytest
+
+from repro.circuits import row_by_name
+from repro.core import VanEijkVerifier
+from repro.eval import ablation_fundep
+from repro.netlist import build_product
+from repro.reach import check_equivalence_traversal
+
+from conftest import run_once
+
+
+def test_fundep_ablation_rows(benchmark):
+    rows = [row_by_name(name) for name in ("s298", "s386")]
+
+    def run():
+        return ablation_fundep(rows)
+
+    results = run_once(benchmark, run)
+    assert all(r["both_proved"] for r in results)
+    assert any(r["subs"] > 0 for r in results)
+    benchmark.extra_info["rows"] = {
+        r["circuit"]: {"subs": r["subs"], "nodes_fd": r["nodes_fd"],
+                       "nodes_nofd": r["nodes_nofd"]}
+        for r in results
+    }
+
+
+@pytest.mark.parametrize("use_fundeps", [True, False])
+def test_fundep_proposed_timing(benchmark, suite_pairs, use_fundeps):
+    spec, impl = suite_pairs("s953")
+
+    def run():
+        return VanEijkVerifier(use_fundeps=use_fundeps).verify(
+            spec, impl, match_outputs="order"
+        )
+
+    result = run_once(benchmark, run)
+    assert result.proved
+    benchmark.extra_info.update({
+        "substitutions": result.details["substitutions"],
+        "peak_nodes": result.peak_nodes,
+    })
+
+
+@pytest.mark.parametrize("use_rc", [True, False])
+def test_traversal_register_correspondence_timing(benchmark, suite_pairs,
+                                                  use_rc):
+    spec, impl = suite_pairs("s298")
+    product = build_product(spec, impl, match_outputs="order")
+
+    def run():
+        return check_equivalence_traversal(
+            product, use_register_correspondence=use_rc,
+            time_limit=120, node_limit=2000000, max_iterations=600,
+        )
+
+    result = run_once(benchmark, run)
+    assert result.proved
+    benchmark.extra_info.update({
+        "merged": result.details.get("register_classes_merged"),
+        "peak_nodes": result.peak_nodes,
+    })

@@ -1,0 +1,27 @@
+"""E9 — §3: strengthening Q with reachable-state don't cares.
+
+The one-hot family: the bare fixed point cannot prove either ring; retiming
+augmentation rescues the free-running ring only; the exact reachable bound
+rescues both.
+"""
+
+from repro.eval import ablation_reach_bound
+
+from conftest import run_once
+
+
+def test_reach_bound_rescues_incomplete_cases(benchmark):
+    results = run_once(benchmark, ablation_reach_bound)
+    by_name = {r["circuit"]: r for r in results}
+    plain_ring = by_name["onehot"]
+    gated_ring = by_name["onehot_en"]
+    assert plain_ring["plain"] is None
+    assert plain_ring["with_retiming"] is True
+    assert plain_ring["with_reach"] is True
+    assert gated_ring["plain"] is None
+    assert gated_ring["with_retiming"] is None  # genuinely incomplete
+    assert gated_ring["with_reach"] is True
+    benchmark.extra_info["rows"] = {
+        name: {k: v for k, v in row.items() if k != "circuit"}
+        for name, row in by_name.items()
+    }

@@ -1,0 +1,53 @@
+"""E-extra — Eq. 3 decision procedures: implication check vs. generalized
+cofactor (the don't-care-set reading of §4, made literal via constrain).
+
+Both must compute the same relation; the benchmark compares their cost.
+"""
+
+import pytest
+
+from repro.core import VanEijkVerifier, compute_fixpoint
+from repro.core.timeframe import TimeFrame
+from repro.netlist import build_product
+
+from conftest import run_once
+
+ROWS = ["s298", "s953", "s838"]
+
+
+@pytest.mark.parametrize("mode", ["implication", "constrain"])
+@pytest.mark.parametrize("name", ROWS)
+def test_refinement_strategy(benchmark, suite_pairs, name, mode):
+    spec, impl = suite_pairs(name)
+
+    def run():
+        return VanEijkVerifier(refinement=mode).verify(
+            spec, impl, match_outputs="order"
+        )
+
+    result = run_once(benchmark, run)
+    assert result.proved
+    benchmark.extra_info.update({
+        "iterations": result.iterations,
+        "peak_nodes": result.peak_nodes,
+    })
+
+
+def test_strategies_identical_partition(benchmark, suite_pairs):
+    spec, impl = suite_pairs("s386")
+    product = build_product(spec, impl, match_outputs="order")
+
+    def run():
+        partitions = {}
+        for mode in ("implication", "constrain"):
+            frame = TimeFrame(product.circuit.copy())
+            fix = compute_fixpoint(frame, frame.build_signal_functions(),
+                                   refinement=mode)
+            partitions[mode] = sorted(
+                sorted(net for fn in cls for net, _ in fn.members)
+                for cls in fix.partition.classes
+            )
+        return partitions
+
+    partitions = run_once(benchmark, run)
+    assert partitions["implication"] == partitions["constrain"]

@@ -1,0 +1,47 @@
+"""E4 — §4 ablation: sequential simulation seeding of T0.
+
+The paper: simulation "results in a better initial approximation ... and
+thus reduces the required number of iterations".  Asserted: seeding never
+increases the iteration count, and strictly decreases it somewhere.
+"""
+
+import pytest
+
+from repro.circuits import row_by_name
+from repro.eval import ablation_simulation
+
+from conftest import run_once
+
+ROWS = ["s298", "s386", "s838"]
+
+
+def test_simulation_reduces_iterations(benchmark):
+    rows = [row_by_name(name) for name in ROWS]
+
+    def run():
+        return ablation_simulation(rows)
+
+    results = run_once(benchmark, run)
+    assert all(r["both_proved"] for r in results)
+    for r in results:
+        assert r["its_sim"] <= r["its_nosim"], r
+    assert any(r["its_sim"] < r["its_nosim"] for r in results)
+    benchmark.extra_info["rows"] = {
+        r["circuit"]: (r["its_sim"], r["its_nosim"]) for r in results
+    }
+
+
+@pytest.mark.parametrize("use_simulation", [True, False])
+def test_simulation_timing(benchmark, suite_pairs, use_simulation):
+    from repro.core import VanEijkVerifier
+
+    spec, impl = suite_pairs("s838")
+
+    def run():
+        return VanEijkVerifier(use_simulation=use_simulation).verify(
+            spec, impl, match_outputs="order"
+        )
+
+    result = run_once(benchmark, run)
+    assert result.proved
+    benchmark.extra_info["iterations"] = result.iterations

@@ -1,0 +1,71 @@
+"""E8 — §6 outlook: BDD fixpoint vs. SAT (intermediate variables) fixpoint.
+
+Both backends must return the same verdict; their relative cost is the
+experiment.
+"""
+
+import pytest
+
+from repro.circuits import row_by_name
+from repro.core import VanEijkVerifier, check_equivalence_sat_sweep
+
+from conftest import run_once
+
+ROWS = ["s298", "s386", "s953"]
+
+
+@pytest.mark.parametrize("name", ROWS)
+def test_backend_bdd(benchmark, suite_pairs, name):
+    spec, impl = suite_pairs(name)
+
+    def run():
+        return VanEijkVerifier(use_retiming=False).verify(
+            spec, impl, match_outputs="order"
+        )
+
+    result = run_once(benchmark, run)
+    assert result.proved
+    benchmark.extra_info["iterations"] = result.iterations
+
+
+@pytest.mark.parametrize("name", ROWS)
+def test_backend_sat(benchmark, suite_pairs, name):
+    spec, impl = suite_pairs(name)
+
+    def run():
+        return check_equivalence_sat_sweep(spec, impl, match_outputs="order")
+
+    result = run_once(benchmark, run)
+    assert result.proved
+    benchmark.extra_info["iterations"] = result.iterations
+
+
+def test_backends_agree_on_partition(benchmark, suite_pairs):
+    """The SAT backend computes the same maximum relation as the BDD one."""
+    from repro.core import compute_fixpoint
+    from repro.core.satbackend import SatCorrespondence
+    from repro.core.timeframe import TimeFrame
+    from repro.netlist import build_product
+
+    spec, impl = suite_pairs("s386")
+    product = build_product(spec, impl, match_outputs="order")
+
+    def run():
+        frame = TimeFrame(product.circuit.copy())
+        fix = compute_fixpoint(frame, frame.build_signal_functions())
+        bdd_classes = {
+            frozenset(net for fn in cls for net, _ in fn.members) - {"@const"}
+            for cls in fix.partition.classes
+        }
+        sat_engine = SatCorrespondence(product)
+        sat_raw, _ = sat_engine.compute()
+        sat_classes = {
+            frozenset(sig.net for sig in cls) - {"@const"}
+            for cls in sat_raw
+        }
+        return bdd_classes, sat_classes
+
+    bdd_classes, sat_classes = run_once(benchmark, run)
+    bdd_classes = {c for c in bdd_classes if c}
+    sat_classes = {c for c in sat_classes if c}
+    assert bdd_classes == sat_classes

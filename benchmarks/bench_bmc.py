@@ -1,0 +1,48 @@
+"""E-extra — BMC refutation: shortest counterexamples vs. the other
+refuters (simulation inside the main engine, traversal rings)."""
+
+import pytest
+
+from repro.circuits import row_by_name
+from repro.core import VanEijkVerifier
+from repro.core.bmc import bmc_refute
+from repro.netlist import build_product
+from repro.reach import check_equivalence_traversal
+from repro.transform import inject_distinguishable_fault
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def buggy_product():
+    spec = row_by_name("s298").spec()
+    impl, _ = inject_distinguishable_fault(spec, seed=17)
+    return build_product(spec, impl, match_outputs="order")
+
+
+def test_bmc_refutes(benchmark, buggy_product):
+    def run():
+        return bmc_refute(buggy_product, max_depth=48)
+
+    result = run_once(benchmark, run)
+    assert result.refuted
+    benchmark.extra_info["cex_depth"] = result.details["cex_depth"]
+
+
+def test_simulation_refutes(benchmark, buggy_product):
+    def run():
+        return VanEijkVerifier().verify_product(buggy_product)
+
+    result = run_once(benchmark, run)
+    assert result.refuted
+    benchmark.extra_info["cex_length"] = result.counterexample.length
+
+
+def test_traversal_refutes(benchmark, buggy_product):
+    def run():
+        return check_equivalence_traversal(buggy_product, time_limit=120,
+                                           node_limit=2000000)
+
+    result = run_once(benchmark, run)
+    assert result.refuted
+    benchmark.extra_info["cex_length"] = result.counterexample.length

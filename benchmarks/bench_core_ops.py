@@ -1,0 +1,66 @@
+"""E10 — core-engine microbenchmarks: the Fig. 1 time-frame operations.
+
+Covers the three dominant costs of one fixpoint iteration: building the
+model (f_v for all signals), the ν frame shift (vector composition), and
+the correspondence-condition conjunction.
+"""
+
+import pytest
+
+from repro.circuits import row_by_name
+from repro.core.correspondence import (
+    _correspondence_condition,
+    compute_fixpoint,
+    initial_partition,
+)
+from repro.core.timeframe import TimeFrame
+from repro.netlist import build_product
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def product():
+    spec, impl = row_by_name("s953").pair()
+    return build_product(spec, impl, match_outputs="order")
+
+
+def test_timeframe_construction(benchmark, product):
+    def run():
+        frame = TimeFrame(product.circuit.copy())
+        return frame.manager.live_nodes
+
+    nodes = run_once(benchmark, run)
+    assert nodes > 0
+
+
+def test_nu_frame_shift_all_signals(benchmark, product):
+    frame = TimeFrame(product.circuit.copy())
+    functions = frame.build_signal_functions()
+
+    def run():
+        return [frame.nu(fn.edge) for fn in functions]
+
+    nus = run_once(benchmark, run)
+    assert len(nus) == len(functions)
+
+
+def test_correspondence_condition_build(benchmark, product):
+    frame = TimeFrame(product.circuit.copy())
+    functions = frame.build_signal_functions()
+    partition = initial_partition(frame, functions)
+
+    def run():
+        return _correspondence_condition(frame, partition, {})
+
+    q_edge = run_once(benchmark, run)
+    assert q_edge != frame.manager.false
+
+
+def test_full_fixpoint(benchmark, product):
+    def run():
+        frame = TimeFrame(product.circuit.copy())
+        return compute_fixpoint(frame, frame.build_signal_functions())
+
+    fix = run_once(benchmark, run)
+    assert fix.iterations >= 1

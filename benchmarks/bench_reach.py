@@ -1,0 +1,54 @@
+"""E10 — substrate microbenchmarks: symbolic image computation and
+reachability (the baseline's inner loop)."""
+
+import pytest
+
+from repro.circuits import generate_benchmark
+from repro.reach import TransitionSystem, approximate_reachable, symbolic_reachability
+
+
+@pytest.fixture(scope="module")
+def medium_circuit():
+    return generate_benchmark("reach_bench", n_regs=18, n_inputs=4, seed=5)
+
+
+def test_transition_system_construction(benchmark, medium_circuit):
+    def run():
+        ts = TransitionSystem(medium_circuit)
+        return ts.manager.live_nodes
+
+    nodes = benchmark(run)
+    assert nodes > 0
+
+
+def test_single_image(benchmark, medium_circuit):
+    ts = TransitionSystem(medium_circuit)
+    init = ts.initial_states()
+
+    def run():
+        return ts.image(init)
+
+    image = benchmark(run)
+    assert image != ts.manager.false
+
+
+def test_full_reachability(benchmark, medium_circuit):
+    def run():
+        ts = TransitionSystem(medium_circuit)
+        reached, rings, iterations = symbolic_reachability(
+            ts, max_iterations=400
+        )
+        return iterations
+
+    iterations = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert iterations >= 1
+
+
+def test_approximate_reachability(benchmark, medium_circuit):
+    ts = TransitionSystem(medium_circuit)
+
+    def run():
+        return approximate_reachable(ts, max_block=6)
+
+    approx = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert approx != ts.manager.false

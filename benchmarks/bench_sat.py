@@ -1,0 +1,71 @@
+"""E10 — substrate microbenchmarks: the CDCL solver."""
+
+import random
+
+import pytest
+
+from repro.sat import Solver
+
+
+def _pigeonhole(solver, pigeons, holes):
+    solver.ensure_vars(pigeons * holes)
+
+    def var(i, h):
+        return holes * i + h + 1
+
+    for i in range(pigeons):
+        solver.add_clause([var(i, h) for h in range(holes)])
+    for h in range(holes):
+        for i in range(pigeons):
+            for j in range(i + 1, pigeons):
+                solver.add_clause([-var(i, h), -var(j, h)])
+
+
+def test_pigeonhole_unsat(benchmark):
+    def run():
+        solver = Solver()
+        _pigeonhole(solver, 6, 5)
+        return solver.solve(), solver.conflicts
+
+    verdict, conflicts = benchmark(run)
+    assert verdict is False
+    assert conflicts > 0
+
+
+def test_random_3sat_near_threshold(benchmark):
+    """Random 3-SAT at clause ratio 4.0 (mixed SAT/UNSAT region)."""
+    def run():
+        rng = random.Random(7)
+        solver = Solver()
+        num_vars = 60
+        solver.ensure_vars(num_vars)
+        for _ in range(int(num_vars * 4.0)):
+            variables = rng.sample(range(1, num_vars + 1), 3)
+            solver.add_clause(
+                [v if rng.random() < 0.5 else -v for v in variables]
+            )
+        return solver.solve()
+
+    verdict = benchmark(run)
+    assert verdict in (True, False)
+
+
+def test_incremental_assumption_queries(benchmark):
+    """The access pattern of the SAT sweeping backend: many small queries
+    against one CNF under changing assumptions."""
+    rng = random.Random(3)
+    solver = Solver()
+    num_vars = 40
+    solver.ensure_vars(num_vars)
+    for _ in range(120):
+        variables = rng.sample(range(1, num_vars + 1), 3)
+        solver.add_clause([v if rng.random() < 0.5 else -v for v in variables])
+
+    def run():
+        answers = []
+        for v in range(1, 21):
+            answers.append(solver.solve(assumptions=[v, -(v % num_vars + 1)]))
+        return answers
+
+    answers = benchmark(run)
+    assert len(answers) == 20

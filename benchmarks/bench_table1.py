@@ -1,0 +1,88 @@
+"""E1 — Table 1: the proposed method vs. symbolic traversal, row by row.
+
+``--benchmark-only`` runs reproduce the paper's main table on the 'small'
+rows (the medium/large rows run via ``examples/table1.py``, matching the
+paper's hour-scale budget).  The expected *shape*:
+
+* the proposed method proves every row, in times roughly flat in the
+  sequential depth of the circuit;
+* traversal works on shallow rows but is orders of magnitude slower, and
+  aborts on the deep-state-space rows (s208/s420/s838 family).
+"""
+
+import pytest
+
+from repro.circuits import row_by_name, table1_suite
+from repro.core import VanEijkVerifier
+from repro.netlist import build_product
+from repro.reach import check_equivalence_traversal
+
+from conftest import run_once
+
+SMALL_ROWS = [row.name for row in table1_suite(scales=("small",))]
+# Rows whose product machines traversal finishes within the bench budget
+# (the deep counter family and the widest rows are excluded, as in the
+# paper's blank cells).
+TRAVERSAL_ROWS = ["s298", "s344", "s349", "s386", "s510", "s820", "s832",
+                  "s1488", "s1494"]
+
+
+@pytest.mark.parametrize("name", SMALL_ROWS)
+def test_table1_proposed(benchmark, suite_pairs, name):
+    spec, impl = suite_pairs(name)
+    product = build_product(spec, impl, match_outputs="order")
+
+    def run():
+        return VanEijkVerifier(time_limit=300).verify_product(product)
+
+    result = run_once(benchmark, run)
+    assert result.proved, result.details
+    benchmark.extra_info.update({
+        "circuit": name,
+        "regs": "{}/{}".format(spec.num_registers, impl.num_registers),
+        "iterations": result.iterations,
+        "retime_rounds": result.details["retime_rounds"],
+        "peak_nodes": result.peak_nodes,
+        "eqs_percent": round(result.details["eqs_percent"], 1),
+    })
+
+
+@pytest.mark.parametrize("name", TRAVERSAL_ROWS)
+def test_table1_traversal(benchmark, suite_pairs, name):
+    spec, impl = suite_pairs(name)
+    product = build_product(spec, impl, match_outputs="order")
+
+    def run():
+        return check_equivalence_traversal(
+            product, time_limit=120, node_limit=1500000, max_iterations=600
+        )
+
+    result = run_once(benchmark, run)
+    assert result.proved, result.details
+    benchmark.extra_info.update({
+        "circuit": name,
+        "iterations": result.iterations,
+        "peak_nodes": result.peak_nodes,
+    })
+
+
+def test_table1_deep_state_space_defeats_traversal(benchmark, suite_pairs):
+    """The s838-family row: traversal must exhaust its budget while the
+    proposed method succeeds — the paper's headline contrast."""
+    spec, impl = suite_pairs("s838")
+    product = build_product(spec, impl, match_outputs="order")
+
+    def run():
+        traversal = check_equivalence_traversal(
+            product, time_limit=20, node_limit=500000, max_iterations=500
+        )
+        proposed = VanEijkVerifier(time_limit=300).verify_product(product)
+        return traversal, proposed
+
+    traversal, proposed = run_once(benchmark, run)
+    assert traversal.inconclusive
+    assert proposed.proved
+    benchmark.extra_info.update({
+        "traversal": traversal.details.get("aborted"),
+        "proposed_iterations": proposed.iterations,
+    })

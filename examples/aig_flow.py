@@ -1,0 +1,68 @@
+"""AIG flow: AIGER export, SAT sweeping (fraig) and the modern-CEC view.
+
+The paper's fixed point collapsed to one time frame *is* combinational SAT
+sweeping — the kernel of today's fraig-based equivalence checkers.  This
+example shows that lineage concretely: a combinational circuit and its
+aggressively optimized version are merged into one AIG, swept, and the
+miter output folds to constant 0.
+
+Run:  python examples/aig_flow.py [workdir]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cec import check_comb_equivalence
+from repro.circuits import generate_benchmark
+from repro.netlist.aig import dumps_aag, fraig, from_circuit, loads_aag
+from repro.transform import optimize, sweep
+
+
+def main():
+    workdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        tempfile.mkdtemp(prefix="repro_aig_")
+    )
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    # A combinational workload: a generated benchmark with registers cut
+    # away (treat register outputs as free inputs).
+    seq = generate_benchmark("aigdemo", n_regs=10, n_inputs=4, seed=31)
+    comb = seq.copy()
+    for name, reg in list(comb.registers.items()):
+        comb.registers.pop(name)
+        comb.inputs.append(name)
+    comb._topo_cache = None
+    comb = sweep(comb)
+    comb.validate()
+    impl = optimize(comb, level=2, seed=32)
+    print("spec:", comb)
+    print("impl:", impl)
+
+    # 1. AIG conversion and AIGER round trip.
+    aig, _ = from_circuit(comb)
+    print("AIG:", aig)
+    aag_path = workdir / "spec.aag"
+    aag_path.write_text(dumps_aag(aig))
+    again = loads_aag(aag_path.read_text())
+    assert again.num_ands == aig.num_ands
+    print("wrote and re-read", aag_path.name)
+
+    # 2. Sweeping compresses redundancy (most visible on the miter, where
+    # every impl node has a spec twin to merge with).
+    reduced, _ = fraig(aig)
+    print("fraig on spec alone: {} -> {} AND nodes".format(
+        aig.num_ands, reduced.num_ands))
+
+    # 3. The fraig backend as a CEC engine, against the other two.
+    for backend in ("bdd", "sat", "fraig"):
+        result = check_comb_equivalence(comb, impl, backend=backend)
+        print("{:>6}: {} {}".format(
+            backend, result,
+            result.stats if backend == "fraig" else ""))
+        assert result.equivalent
+    print("(the fraig miter folded every node: equivalence by sweeping)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""The method's limits (§6) and its rescue hatches (§3).
+
+Signal correspondence is sound but incomplete: some equivalent pairs need
+invariants that are not conjunctions of signal equivalences.  This example
+walks the one-hot ring family:
+
+* a free-running one-hot ring is beyond the bare fixed point, but retiming
+  augmentation recovers it (the augmented signals rotate the invariant);
+* an enable-gated ring defeats the whole Fig. 4 loop, and is rescued by
+  strengthening the correspondence condition with reachable-state don't
+  cares, or by falling back to the traversal baseline.
+
+Run:  python examples/incompleteness_and_fallback.py
+"""
+
+from repro import verify
+from repro.circuits import onehot_ring_pair
+
+
+def show(label, result):
+    verdict = {True: "EQUIVALENT", False: "INEQUIVALENT", None: "undecided"}
+    print("  {:<38} -> {}".format(label, verdict[result.equivalent]))
+
+
+def main():
+    print("free-running one-hot ring vs constant 1:")
+    spec, impl = onehot_ring_pair(enable=False)
+    show("bare fixed point (no retiming)",
+         verify(spec, impl, use_retiming=False))
+    show("with retiming augmentation",
+         verify(spec, impl, use_retiming=True, max_retiming_rounds=4))
+
+    print("\nenable-gated one-hot ring vs constant 1:")
+    spec, impl = onehot_ring_pair(enable=True)
+    show("full Fig. 4 method", verify(spec, impl, max_retiming_rounds=6))
+    show("Q strengthened with exact reach (§3)",
+         verify(spec, impl, use_retiming=False, reach_bound="exact"))
+    show("fallback: symbolic traversal", verify(spec, impl,
+                                                method="traversal"))
+    print("\nThe method never *refutes* an equivalent pair — undecided")
+    print("means 'use it as a preprocessing step for a complete method',")
+    print("exactly as the paper's conclusion suggests.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Regenerate the paper's Table 1.
+
+Runs both engines over the benchmark suite and prints the same columns the
+paper reports.  By default only the 'small' rows run (seconds each); pass
+``--scales small medium large`` for the full table — the large rows are
+where traversal times out and where the mixer circuits exhaust the
+proposed method's node budget, reproducing the paper's blank cells.
+
+Run:  python examples/table1.py [--scales small medium large]
+      python examples/table1.py --quick          # three representative rows
+"""
+
+import argparse
+
+from repro.circuits import table1_suite, row_by_name
+from repro.eval import render_table1, run_table
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scales", nargs="+", default=["small"],
+                        choices=["small", "medium", "large"])
+    parser.add_argument("--quick", action="store_true",
+                        help="three representative rows only")
+    parser.add_argument("--optimize-level", type=int, default=2)
+    parser.add_argument("--traversal-time-limit", type=float, default=60.0)
+    parser.add_argument("--proposed-time-limit", type=float, default=300.0)
+    args = parser.parse_args()
+
+    if args.quick:
+        rows = [row_by_name(n) for n in ("s298", "s386", "s838")]
+    else:
+        rows = table1_suite(scales=tuple(args.scales))
+    print("running {} row(s)...".format(len(rows)))
+    results = run_table(
+        rows,
+        optimize_level=args.optimize_level,
+        traversal_time_limit=args.traversal_time_limit,
+        proposed_time_limit=args.proposed_time_limit,
+    )
+    print()
+    print(render_table1(results))
+    print()
+    eqs = [r.eqs_percent for r in results if r.eqs_percent is not None]
+    if eqs:
+        print("average eqs: {:.0f}%".format(sum(eqs) / len(eqs)))
+    solved = sum(1 for r in results if r.proposed.proved)
+    trav_solved = sum(
+        1 for r in results if r.traversal is not None and r.traversal.proved
+    )
+    print("proposed method proved {}/{}; traversal proved {}/{}".format(
+        solved, len(results), trav_solved, len(results)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""repro — Sequential Equivalence Checking without State Space Traversal.
+
+A complete reproduction of C.A.J. van Eijk's DATE 1998 paper: sequential
+equivalence checking by signal correspondence (a greatest fixed-point
+iteration over functionally equivalent signals) instead of product-machine
+state-space traversal, together with every substrate the paper depends on —
+a complement-edge BDD package with sifting, a CDCL SAT solver, a gate-level
+netlist library with ``.bench``/BLIF support, retiming and resynthesis
+transformations, and the symbolic-traversal baseline it is compared against.
+
+Quick start::
+
+    from repro import verify
+    from repro.circuits import fig2_pair
+
+    spec, impl = fig2_pair()
+    result = verify(spec, impl)
+    assert result.proved
+"""
+
+from .errors import (
+    BddError,
+    NetlistError,
+    NodeLimitExceeded,
+    ParseError,
+    ReproError,
+    ResourceBudgetExceeded,
+    SatError,
+    TransformError,
+    VerificationError,
+)
+from .netlist import Circuit, GateType, build_product
+from .reach import CexTrace, SecResult
+from .core import VanEijkVerifier, check_equivalence_sat_sweep
+
+__version__ = "1.0.0"
+
+METHODS = ("van_eijk", "traversal", "sat_sweep", "bmc", "explicit")
+
+
+def verify(spec, impl, method="van_eijk", match_inputs="name",
+           match_outputs="order", **options):
+    """Check two sequential circuits for equivalence.
+
+    ``method`` selects the engine:
+
+    * ``"van_eijk"`` — the paper's signal-correspondence method (default);
+      options are :class:`~repro.core.VanEijkVerifier` parameters.
+    * ``"traversal"`` — the symbolic state-space-traversal baseline;
+      options are those of
+      :func:`~repro.reach.check_equivalence_traversal`.
+    * ``"sat_sweep"`` — the SAT-backed signal correspondence (§6).
+    * ``"bmc"`` — bounded model checking: a complete *refuter* up to a
+      depth bound (shortest counterexamples); it never proves.
+    * ``"explicit"`` — explicit-state oracle (tiny circuits only).
+
+    Returns a :class:`~repro.reach.SecResult`.
+    """
+    if method == "van_eijk":
+        verifier = VanEijkVerifier(**options)
+        return verifier.verify(spec, impl, match_inputs=match_inputs,
+                               match_outputs=match_outputs)
+    if method == "sat_sweep":
+        return check_equivalence_sat_sweep(
+            spec, impl, match_inputs=match_inputs,
+            match_outputs=match_outputs, **options
+        )
+    product = build_product(spec, impl, match_inputs=match_inputs,
+                            match_outputs=match_outputs)
+    if method == "bmc":
+        from .core.bmc import bmc_refute
+
+        return bmc_refute(product, **options)
+    if method == "traversal":
+        from .reach import check_equivalence_traversal
+
+        return check_equivalence_traversal(product, **options)
+    if method == "explicit":
+        from .reach import explicit_check_equivalence
+
+        return explicit_check_equivalence(product, **options)
+    raise ValueError(
+        "unknown method {!r}; choose one of {}".format(method, METHODS)
+    )
+
+
+__all__ = [
+    "BddError",
+    "CexTrace",
+    "Circuit",
+    "GateType",
+    "METHODS",
+    "NetlistError",
+    "NodeLimitExceeded",
+    "ParseError",
+    "ReproError",
+    "ResourceBudgetExceeded",
+    "SatError",
+    "SecResult",
+    "TransformError",
+    "VanEijkVerifier",
+    "VerificationError",
+    "build_product",
+    "check_equivalence_sat_sweep",
+    "verify",
+]

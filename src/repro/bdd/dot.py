@@ -1,0 +1,47 @@
+"""Graphviz export of BDD forests (debugging / documentation aid)."""
+
+
+def to_dot(manager, edges, names=None):
+    """Render the forest rooted at ``edges`` as a Graphviz ``dot`` string.
+
+    Complemented edges are drawn dashed with a dot arrowhead, following the
+    usual convention.  ``names`` optionally labels the roots.
+    """
+    if isinstance(edges, int):
+        edges = [edges]
+    if names is None:
+        names = ["f{}".format(i) for i in range(len(edges))]
+    lines = [
+        "digraph bdd {",
+        "  rankdir=TB;",
+        '  node [shape=circle, fontsize=10];',
+        '  one [shape=box, label="1"];',
+    ]
+    seen = set()
+    stack = []
+    for edge in edges:
+        stack.append(edge >> 1)
+    while stack:
+        node = stack.pop()
+        if node == 0 or node in seen:
+            continue
+        seen.add(node)
+        var = manager.var_of(node << 1)
+        lines.append(
+            '  n{} [label="{}"];'.format(node, manager.var_name(var))
+        )
+        for child, style in ((manager._hi[node], "solid"), (manager._lo[node], "dashed")):
+            target = "one" if child >> 1 == 0 else "n{}".format(child >> 1)
+            arrow = ", arrowhead=dot" if child & 1 else ""
+            lines.append(
+                '  n{} -> {} [style={}{}];'.format(node, target, style, arrow)
+            )
+            stack.append(child >> 1)
+    for name, edge in zip(names, edges):
+        root_id = "r_{}".format(name)
+        lines.append('  {} [shape=plaintext, label="{}"];'.format(root_id, name))
+        target = "one" if edge >> 1 == 0 else "n{}".format(edge >> 1)
+        arrow = ", arrowhead=dot" if edge & 1 else ""
+        lines.append('  {} -> {} [style=solid{}];'.format(root_id, target, arrow))
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Boolean expression front end for the BDD manager.
+
+A small recursive-descent parser so tests, examples and interactive use can
+write ``parse(mgr, "a & (b | !c) ^ d")`` instead of chaining apply calls,
+plus the reverse direction: a sum-of-products expression string for any
+edge (via cube enumeration — intended for small functions).
+
+Grammar (C-style precedence, lowest first)::
+
+    expr   := xor
+    xor    := or ('^' or)*
+    or     := and ('|' and)*
+    and    := unary ('&' unary)*
+    unary  := '!' unary | atom
+    atom   := '0' | '1' | identifier | '(' expr ')'
+
+Unknown identifiers create fresh variables when ``auto_vars`` is set.
+"""
+
+import re
+
+from ..errors import BddError
+
+_TOKEN_RE = re.compile(r"\s*(=>|<=>|[()&|^!01]|[A-Za-z_][A-Za-z0-9_.\[\]]*)")
+
+
+def _tokenize(text):
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if not match:
+            raise BddError(
+                "cannot tokenize expression at: {!r}".format(text[position:])
+            )
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, manager, tokens, auto_vars):
+        self.mgr = manager
+        self.tokens = tokens
+        self.pos = 0
+        self.auto_vars = auto_vars
+
+    def peek(self):
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self):
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def expect(self, token):
+        got = self.take()
+        if got != token:
+            raise BddError("expected {!r}, got {!r}".format(token, got))
+
+    def parse(self):
+        edge = self.expr()
+        if self.peek() is not None:
+            raise BddError("trailing input: {!r}".format(self.peek()))
+        return edge
+
+    def expr(self):
+        # Implication / equivalence (right associative, lowest precedence).
+        left = self.xor()
+        token = self.peek()
+        if token == "=>":
+            self.take()
+            right = self.expr()
+            return self.mgr.apply_implies(left, right)
+        if token == "<=>":
+            self.take()
+            right = self.expr()
+            return self.mgr.apply_xnor(left, right)
+        return left
+
+    def xor(self):
+        edge = self.or_()
+        while self.peek() == "^":
+            self.take()
+            edge = self.mgr.apply_xor(edge, self.or_())
+        return edge
+
+    def or_(self):
+        edge = self.and_()
+        while self.peek() == "|":
+            self.take()
+            edge = self.mgr.apply_or(edge, self.and_())
+        return edge
+
+    def and_(self):
+        edge = self.unary()
+        while self.peek() == "&":
+            self.take()
+            edge = self.mgr.apply_and(edge, self.unary())
+        return edge
+
+    def unary(self):
+        if self.peek() == "!":
+            self.take()
+            return self.mgr.apply_not(self.unary())
+        return self.atom()
+
+    def atom(self):
+        token = self.take()
+        if token == "0":
+            return self.mgr.false
+        if token == "1":
+            return self.mgr.true
+        if token == "(":
+            edge = self.expr()
+            self.expect(")")
+            return edge
+        if token is None:
+            raise BddError("unexpected end of expression")
+        if not re.match(r"^[A-Za-z_]", token):
+            raise BddError("unexpected token {!r}".format(token))
+        try:
+            var = self.mgr.var_by_name(token)
+        except BddError:
+            if not self.auto_vars:
+                raise
+            return self.mgr.add_var(token)
+        return self.mgr.var_edge(var)
+
+
+def parse(manager, text, auto_vars=True):
+    """Parse a Boolean expression into a BDD edge."""
+    return _Parser(manager, _tokenize(text), auto_vars).parse()
+
+
+def to_sop(manager, edge, max_cubes=256):
+    """A sum-of-products string for ``edge`` (small functions only).
+
+    Enumerates the BDD's one-paths; raises when more than ``max_cubes``
+    cubes would be printed.
+    """
+    if edge == manager.true:
+        return "1"
+    if edge == manager.false:
+        return "0"
+    cubes = []
+
+    def walk(e, path):
+        if len(cubes) > max_cubes:
+            raise BddError("function has too many cubes for to_sop")
+        if e == manager.true:
+            cubes.append(list(path))
+            return
+        if e == manager.false:
+            return
+        var = manager.var_of(e)
+        hi, lo = manager.cofactors(e, var)
+        name = manager.var_name(var)
+        path.append(name)
+        walk(hi, path)
+        path.pop()
+        path.append("!" + name)
+        walk(lo, path)
+        path.pop()
+
+    walk(edge, [])
+    terms = [" & ".join(cube) if cube else "1" for cube in cubes]
+    return " | ".join(terms)

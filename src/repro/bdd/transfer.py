@@ -1,0 +1,35 @@
+"""Transfer a BDD from one manager to another (with variable remapping)."""
+
+from ..errors import BddError
+
+
+def transfer(src, edge, dst, var_map):
+    """Rebuild ``edge`` (owned by manager ``src``) inside manager ``dst``.
+
+    ``var_map`` maps source variable indices to destination variable
+    indices; every variable in the edge's support must be mapped.  The
+    destination order may differ — the rebuild goes through ITE, which
+    reorders internally.
+    """
+    cache = {}
+
+    def walk(e):
+        sign = e & 1
+        node = e >> 1
+        if node == 0:
+            return dst.true ^ sign
+        cached = cache.get(node)
+        if cached is None:
+            var = src._var[node]
+            mapped = var_map.get(var)
+            if mapped is None:
+                raise BddError(
+                    "transfer: unmapped variable {!r}".format(src.var_name(var))
+                )
+            hi = walk(src._hi[node])
+            lo = walk(src._lo[node])
+            cached = dst.ite(dst.var_edge(mapped), hi, lo)
+            cache[node] = cached
+        return cached ^ sign
+
+    return walk(edge)

@@ -1,0 +1,64 @@
+"""BDD-based combinational equivalence checking."""
+
+from ..bdd import BddManager
+from ..errors import VerificationError
+from ..netlist.bddnet import build_bdds
+from ..netlist.cones import static_variable_order
+from .result import CecResult
+
+
+def check_comb_equivalence_bdd(spec, impl, match_inputs="name",
+                               match_outputs="order", node_limit=None):
+    """Check two combinational circuits for equivalence with BDDs.
+
+    Inputs are matched by name (default) or positionally; outputs are matched
+    positionally by default (names often diverge after synthesis).
+    """
+    _check_interfaces(spec, impl, match_inputs)
+    manager = BddManager(node_limit=node_limit)
+    order = static_variable_order(spec)
+    leaves = {net: manager.add_var(net) for net in order}
+    if match_inputs == "name":
+        impl_leaves = {net: leaves[net] for net in impl.inputs}
+    else:
+        impl_leaves = {
+            i_net: leaves[s_net]
+            for i_net, s_net in zip(impl.inputs, spec.inputs)
+        }
+    spec_values = build_bdds(spec, manager, leaves, nets=spec.outputs)
+    impl_values = build_bdds(impl, manager, impl_leaves, nets=impl.outputs)
+    if match_outputs == "name":
+        pairs = [(net, net) for net in spec.outputs]
+    else:
+        pairs = list(zip(spec.outputs, impl.outputs))
+    input_ids = {net: manager.var_of(leaves[net]) for net in spec.inputs}
+    for s_out, i_out in pairs:
+        f = spec_values[s_out]
+        g = impl_values[i_out]
+        if f != g:
+            diff = manager.apply_xor(f, g)
+            assignment = manager.pick_one(diff)
+            cex = {
+                net: assignment.get(var, False)
+                for net, var in input_ids.items()
+            }
+            return CecResult(
+                False,
+                counterexample=cex,
+                failing_output=(s_out, i_out),
+                stats={"peak_nodes": manager.peak_live_nodes},
+            )
+    return CecResult(True, stats={"peak_nodes": manager.peak_live_nodes})
+
+
+def _check_interfaces(spec, impl, match_inputs):
+    if spec.num_registers or impl.num_registers:
+        raise VerificationError(
+            "combinational check on sequential circuits; use the SEC engine"
+        )
+    if len(spec.inputs) != len(impl.inputs):
+        raise VerificationError("input count mismatch")
+    if len(spec.outputs) != len(impl.outputs):
+        raise VerificationError("output count mismatch")
+    if match_inputs == "name" and set(spec.inputs) != set(impl.inputs):
+        raise VerificationError("input names differ; use match_inputs='order'")

@@ -1,0 +1,27 @@
+"""Result record shared by the CEC backends."""
+
+
+class CecResult:
+    """Outcome of a combinational equivalence check.
+
+    ``equivalent`` is the verdict; on inequivalence, ``counterexample`` maps
+    input nets to booleans and ``failing_output`` names the first output pair
+    that differs under it.
+    """
+
+    def __init__(self, equivalent, counterexample=None, failing_output=None,
+                 stats=None):
+        self.equivalent = equivalent
+        self.counterexample = counterexample
+        self.failing_output = failing_output
+        self.stats = stats or {}
+
+    def __bool__(self):
+        return self.equivalent
+
+    def __repr__(self):
+        if self.equivalent:
+            return "CecResult(equivalent)"
+        return "CecResult(INEQUIVALENT at {!r}, cex={})".format(
+            self.failing_output, self.counterexample
+        )

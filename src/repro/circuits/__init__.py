@@ -1,0 +1,44 @@
+"""Benchmark circuits: the paper's worked examples and the Table-1 suite."""
+
+from .paper_example import (
+    fig2_impl,
+    fig2_pair,
+    fig2_spec,
+    fig3_impl,
+    fig3_pair,
+    fig3_spec,
+    mod3_counter_pair,
+    onehot_ring_pair,
+)
+from .generators import (
+    add_control_fsm,
+    add_counter,
+    add_lfsr,
+    add_multiplier_mixer,
+    add_output_cone,
+    add_shift_chain,
+    generate_benchmark,
+)
+from .suite import TABLE1_ROWS, SuiteRow, row_by_name, table1_suite
+
+__all__ = [
+    "TABLE1_ROWS",
+    "SuiteRow",
+    "add_control_fsm",
+    "add_counter",
+    "add_lfsr",
+    "add_multiplier_mixer",
+    "add_output_cone",
+    "add_shift_chain",
+    "fig2_impl",
+    "fig2_pair",
+    "fig2_spec",
+    "fig3_impl",
+    "fig3_pair",
+    "fig3_spec",
+    "generate_benchmark",
+    "mod3_counter_pair",
+    "onehot_ring_pair",
+    "row_by_name",
+    "table1_suite",
+]

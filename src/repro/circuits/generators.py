@@ -1,0 +1,246 @@
+"""Parametric sequential circuit generators.
+
+The ISCAS'89 netlists themselves are not redistributable here, so the
+Table-1 suite is generated from the structural motifs the real circuits are
+built from — counters and fraction counters (the s208/s420/s838 family),
+shift chains and LFSRs, decoded control FSMs, and shared combinational
+cones — with register counts matching the real benchmarks.  Supports are
+kept local, which is the property of the real circuits that makes their
+next-state BDDs tractable (and which the paper's method exploits).
+
+Everything is deterministic in the seed.
+"""
+
+import random
+
+from ..netlist.circuit import Circuit, GateType
+
+_BINARY = [GateType.AND, GateType.OR, GateType.NAND, GateType.NOR,
+           GateType.XOR, GateType.XNOR]
+
+
+class _Builder:
+    """Incremental construction context shared by the motifs."""
+
+    def __init__(self, name, n_inputs, seed):
+        self.circuit = Circuit(name)
+        self.rng = random.Random(seed)
+        for i in range(n_inputs):
+            self.circuit.add_input("in{}".format(i))
+        self.module_count = 0
+        self.taps = list(self.circuit.inputs)  # observable signals so far
+        self.observe = []  # one representative signal per motif
+
+    def input_signal(self):
+        return self.rng.choice(self.circuit.inputs)
+
+    def local_tap(self, span=12):
+        """A recently created signal (keeps supports local)."""
+        window = self.taps[-span:] if span is not None else self.taps
+        return self.rng.choice(window)
+
+    def fresh(self, stem):
+        self.module_count += 1
+        return "{}_{}".format(stem, self.module_count)
+
+
+def add_counter(builder, bits, enable=None):
+    """Binary up-counter; the s208/s420/s838 fraction-counter motif."""
+    c = builder.circuit
+    prefix = builder.fresh("cnt")
+    if enable is None:
+        enable = builder.input_signal()
+    regs = []
+    for i in range(bits):
+        regs.append(c.add_register("{}_q{}".format(prefix, i), "__pending",
+                                   init=False))
+    carry = enable
+    for i, q in enumerate(regs):
+        d = "{}_d{}".format(prefix, i)
+        c.add_gate(d, GateType.XOR, [q, carry])
+        c.set_register_input(q, d)
+        if i < bits - 1:
+            nxt = "{}_c{}".format(prefix, i)
+            c.add_gate(nxt, GateType.AND, [q, carry])
+            carry = nxt
+    builder.taps.extend(regs)
+    builder.observe.append(regs[-1])
+    return regs
+
+
+def add_shift_chain(builder, bits, data=None):
+    """Serial shift register fed by an existing signal."""
+    c = builder.circuit
+    prefix = builder.fresh("sh")
+    if data is None:
+        data = builder.local_tap()
+    regs = []
+    src = data
+    for i in range(bits):
+        q = c.add_register("{}_q{}".format(prefix, i), src,
+                           init=builder.rng.random() < 0.3)
+        regs.append(q)
+        src = q
+    builder.taps.extend(regs)
+    builder.observe.append(regs[-1])
+    return regs
+
+
+def add_lfsr(builder, bits):
+    """Fibonacci LFSR with random taps (initialized non-zero)."""
+    c = builder.circuit
+    prefix = builder.fresh("lfsr")
+    regs = []
+    for i in range(bits):
+        regs.append(c.add_register("{}_q{}".format(prefix, i), "__pending",
+                                   init=(i == 0)))
+    n_taps = builder.rng.randint(2, min(4, bits))
+    taps = builder.rng.sample(regs, n_taps)
+    feedback = "{}_fb".format(prefix)
+    c.add_gate(feedback, GateType.XOR, taps)
+    src = feedback
+    for q in regs:
+        c.set_register_input(q, src)
+        src = q
+    builder.taps.extend(regs)
+    builder.observe.append(regs[-1])
+    return regs
+
+
+def add_control_fsm(builder, bits, n_inputs_used=2):
+    """Random Moore-style control FSM: each state bit reloads from a small
+    random cone over the state bits and a couple of inputs."""
+    c = builder.circuit
+    rng = builder.rng
+    prefix = builder.fresh("fsm")
+    regs = []
+    for i in range(bits):
+        regs.append(c.add_register("{}_q{}".format(prefix, i), "__pending",
+                                   init=rng.random() < 0.4))
+    controls = [builder.input_signal() for _ in range(n_inputs_used)]
+    for i, q in enumerate(regs):
+        sources = regs + controls
+        depth = rng.randint(1, 2)
+        current = rng.sample(sources, min(len(sources), rng.randint(2, 3)))
+        net = None
+        for level in range(depth):
+            gtype = rng.choice(_BINARY)
+            net = "{}_l{}_{}".format(prefix, level, i)
+            c.add_gate(net, gtype, current)
+            current = [net, rng.choice(sources)]
+        c.set_register_input(q, net)
+    builder.taps.extend(regs)
+    # Random FSM bits are not guaranteed to feed one another, so every bit
+    # is observed individually (counters/chains only need their last stage).
+    builder.observe.extend(regs)
+    return regs
+
+
+def add_multiplier_mixer(builder, width):
+    """Array multiplier over two register words; its middle product bits
+    have exponential BDDs under every variable order — the motif that makes
+    the s3384/s6669-class circuits defeat BDD-based engines."""
+    c = builder.circuit
+    rng = builder.rng
+    prefix = builder.fresh("mul")
+    a_regs = add_shift_chain(builder, width, data=builder.input_signal())
+    b_regs = add_lfsr(builder, width)
+    # Partial products.
+    rows = []
+    for i in range(width):
+        row = []
+        for j in range(width):
+            pp = "{}_pp{}_{}".format(prefix, i, j)
+            c.add_gate(pp, GateType.AND, [a_regs[i], b_regs[j]])
+            row.append(pp)
+        rows.append(row)
+    # Carry-save reduction along anti-diagonals (ripple style).
+    acc = rows[0]
+    for i in range(1, width):
+        nxt = []
+        carry = None
+        for j in range(width - i):
+            s = "{}_s{}_{}".format(prefix, i, j)
+            operands = [acc[j + 1] if j + 1 < len(acc) else rows[i][j],
+                        rows[i][j]]
+            if carry is not None:
+                operands.append(carry)
+            c.add_gate(s, GateType.XOR, operands)
+            carry_net = "{}_c{}_{}".format(prefix, i, j)
+            c.add_gate(carry_net, GateType.AND, operands[:2])
+            carry = carry_net
+            nxt.append(s)
+        acc = nxt if nxt else acc
+    out = acc[0] if acc else rows[0][0]
+    builder.taps.append(out)
+    builder.observe.append(out)
+    return out
+
+
+def add_output_cone(builder, depth=3, span=16):
+    """A small random combinational cone; ``span=None`` samples globally."""
+    c = builder.circuit
+    rng = builder.rng
+    prefix = builder.fresh("po")
+    current = [builder.local_tap(span) for _ in range(rng.randint(2, 3))]
+    net = current[0]
+    for level in range(depth):
+        gtype = rng.choice(_BINARY)
+        net = "{}_l{}".format(prefix, level)
+        c.add_gate(net, gtype, current)
+        current = [net, builder.local_tap(span)]
+    return net
+
+
+def generate_benchmark(name, n_regs, n_inputs=4, n_outputs=None, seed=0,
+                       deep_counter_bits=0, mixer_width=0):
+    """Generate an ISCAS-like sequential benchmark.
+
+    ``deep_counter_bits`` forces one large counter (the deep-state-space
+    s838 shape); ``mixer_width`` adds a multiplier mixer (the BDD-hostile
+    s3384/s6669 shape).  Remaining registers are spread over random motifs.
+    """
+    builder = _Builder(name, n_inputs, seed)
+    remaining = n_regs
+    if deep_counter_bits:
+        used = min(deep_counter_bits, remaining)
+        add_counter(builder, used)
+        remaining -= used
+    if mixer_width and remaining >= 2 * mixer_width:
+        add_multiplier_mixer(builder, mixer_width)
+        remaining -= 2 * mixer_width
+    rng = builder.rng
+    while remaining > 0:
+        motif = rng.choice(["counter", "shift", "lfsr", "fsm"])
+        size = min(remaining, rng.randint(3, 8))
+        if motif == "counter":
+            add_counter(builder, size)
+        elif motif == "shift":
+            add_shift_chain(builder, size)
+        elif motif == "lfsr" and size >= 3:
+            add_lfsr(builder, size)
+        else:
+            add_control_fsm(builder, size)
+        remaining -= size
+    circuit = builder.circuit
+    if n_outputs is None:
+        n_outputs = max(2, n_regs // 8)
+    for _ in range(n_outputs):
+        circuit.add_output(add_output_cone(builder, span=None))
+    # Parity checksums over representative signals keep every module
+    # observable (nothing is synthesized away as dead logic).  Chunked into
+    # narrow XORs so no single output cone observes the whole register file.
+    observe = builder.observe
+    if len(observe) >= 2:
+        for idx in range(0, len(observe), 8):
+            chunk = observe[idx:idx + 8]
+            if len(chunk) == 1:
+                circuit.add_output(chunk[0])
+                continue
+            name = "po_checksum{}".format(idx // 8)
+            circuit.add_gate(name, GateType.XOR, chunk)
+            circuit.add_output(name)
+    elif observe:
+        circuit.add_output(observe[0])
+    circuit.validate()
+    return circuit

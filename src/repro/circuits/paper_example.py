@@ -1,0 +1,163 @@
+"""The paper's worked examples, built as concrete circuits.
+
+* :func:`fig2_pair` — the running example of Fig. 2: a two-register circuit
+  and its forward-retimed, logically optimized counterpart.  The maximum
+  signal correspondence relation pairs {v3, v6} and {v4, v7}, the
+  correspondence condition simplifies to ``v1·v2 ≡ v6``, and the functional
+  dependency substitution replaces the state variable v6 by ``v1·v2``.
+* :func:`fig3_pair` — a pair that is provable *only after* one round of
+  retiming-with-lag-1 augmentation (Fig. 3): the implementation merges the
+  moved registers' input logic into a single new signal that has no
+  counterpart in the specification until the augmenter adds it.
+* :func:`mod3_counter_pair` — two mod-3 counters with different state
+  encodings: sequentially equivalent, but *no* signal correspondence
+  relation proves it (the paper's §6 incompleteness).  The proof goes
+  through once the correspondence condition is strengthened with the exact
+  reachable state space (§3's sequential don't cares).
+"""
+
+from ..netlist.circuit import Circuit, GateType
+
+
+def fig2_spec():
+    """Fig. 2, left: x feeds two registers; output v4 = v1·v2·x."""
+    c = Circuit("fig2_spec")
+    c.add_input("x")
+    c.add_register("v1", "x", init=True)
+    c.add_register("v2", "v1", init=True)
+    c.add_gate("v3", GateType.AND, ["v1", "v2"])
+    c.add_gate("v4", GateType.AND, ["v3", "x"])
+    c.add_output("v4")
+    return c.validate()
+
+
+def fig2_impl():
+    """Fig. 2, right: the retimed and optimized version.
+
+    The AND over (v1, v2) has been retimed forward into the register v6
+    (initial value 1·1 = 1) whose input v5 = x·v1' recomputes it one frame
+    early; the output v7 = v6·x matches v4.
+    """
+    c = Circuit("fig2_impl")
+    c.add_input("x")
+    c.add_register("w1", "x", init=True)
+    c.add_gate("v5", GateType.AND, ["x", "w1"])
+    c.add_register("v6", "v5", init=True)
+    c.add_gate("v7", GateType.AND, ["v6", "x"])
+    c.add_output("v7")
+    return c.validate()
+
+
+def fig2_pair():
+    return fig2_spec(), fig2_impl()
+
+
+def fig3_spec():
+    """Two 2-deep shift chains feeding an AND (Fig. 3, left shape)."""
+    c = Circuit("fig3_spec")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_register("p1", "a", init=False)
+    c.add_register("p2", "p1", init=False)
+    c.add_register("q1", "b", init=False)
+    c.add_register("q2", "q1", init=False)
+    c.add_gate("v", GateType.AND, ["p2", "q2"])
+    c.add_output("v")
+    return c.validate()
+
+
+def fig3_impl():
+    """The forward-retimed implementation: the AND moved across both
+    register stages and merged, so the intermediate product signal
+    ``p1·q1`` exists nowhere — until lag-1 augmentation recreates it."""
+    c = Circuit("fig3_impl")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("w", GateType.AND, ["a", "b"])
+    c.add_register("c1", "w", init=False)
+    c.add_register("m", "c1", init=False)
+    c.add_output("m")
+    return c.validate()
+
+
+def fig3_pair():
+    return fig3_spec(), fig3_impl()
+
+
+def mod3_counter_pair():
+    """Free-running mod-3 counters over different state encodings.
+
+    Specification cycles 00 -> 01 -> 10 -> 00; implementation cycles
+    00 -> 01 -> 11 -> 00.  Both output their high bit, which rises every
+    third cycle.  Despite the different encodings the method proves this
+    pair: the registers' *data-input gates* are sequentially equivalent
+    signals, and their pairing supplies exactly the cross-encoding invariant
+    the output registers' induction needs — a good illustration of why
+    working on all signals (not just registers) matters.
+    """
+    spec = Circuit("mod3_spec")
+    spec.add_gate("nb1", GateType.NOT, ["b1"])
+    spec.add_gate("nb0", GateType.NOT, ["b0"])
+    spec.add_gate("d1", GateType.AND, ["nb1", "b0"])
+    spec.add_gate("d0", GateType.AND, ["nb1", "nb0"])
+    spec.add_register("b1", "d1", init=False)
+    spec.add_register("b0", "d0", init=False)
+    spec.add_output("b1")
+    spec.validate()
+
+    impl = Circuit("mod3_impl")
+    impl.add_gate("nc1", GateType.NOT, ["c1"])
+    impl.add_gate("e1", GateType.AND, ["nc1", "c0"])
+    impl.add_gate("e0", GateType.NOT, ["c1"])
+    impl.add_register("c1", "e1", init=False)
+    impl.add_register("c0", "e0", init=False)
+    impl.add_output("c1")
+    impl.validate()
+    return spec, impl
+
+
+def onehot_ring_pair(enable=False):
+    """Incompleteness witnesses (§6): equivalent, but hard or impossible
+    for signal correspondence alone.
+
+    The implementation is a one-hot 3-register ring (exactly one register is
+    set in every reachable state) whose output ``¬(a·b)`` is constant 1 on
+    the reachable states; the specification is the constant 1.  One-hotness
+    is not a conjunction of signal equivalences, so the bare fixed point
+    cannot prove the pair.
+
+    * ``enable=False``: a free-running ring.  Retiming-with-lag-1
+      augmentation *recovers completeness* here — the augmented signals are
+      the rotated products ``¬(c·a)``, ``¬(b·c)``, whose constant-1
+      equivalences jointly express mutual exclusion.
+    * ``enable=True``: the rotation is gated by an input, which blocks
+      augmentation past the mux logic; the pair is then genuinely beyond the
+      whole method (Fig. 4 terminates undecided), while strengthening the
+      correspondence condition with the exact reachable state space (§3)
+      or plain traversal prove it.
+    """
+    spec = Circuit("onehot_spec")
+    if enable:
+        spec.add_input("en")
+    spec.add_gate("one", GateType.CONST1, [])
+    spec.add_output("one")
+    spec.validate()
+
+    impl = Circuit("onehot_impl")
+    ring = [("a", "c", True), ("b", "a", False), ("c", "b", False)]
+    if enable:
+        impl.add_input("en")
+        impl.add_gate("nen", GateType.NOT, ["en"])
+        for reg, src, init in ring:
+            impl.add_gate("m1_" + reg, GateType.AND, ["en", src])
+            impl.add_gate("m0_" + reg, GateType.AND, ["nen", reg])
+            impl.add_gate("d_" + reg, GateType.OR, ["m1_" + reg, "m0_" + reg])
+            impl.add_register(reg, "d_" + reg, init=init)
+    else:
+        for reg, src, init in ring:
+            impl.add_register(reg, src, init=init)
+    impl.add_gate("g", GateType.AND, ["a", "b"])
+    impl.add_gate("out", GateType.NOT, ["g"])
+    impl.add_output("out")
+    impl.validate()
+    return spec, impl

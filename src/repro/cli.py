@@ -1,0 +1,138 @@
+"""Command-line interface: ``repro-sec`` / ``python -m repro``.
+
+Subcommands::
+
+    repro-sec verify spec.bench impl.bench [--method van_eijk] [...]
+    repro-sec table1 [--scales small medium] [--optimize-level 2]
+    repro-sec info circuit.bench
+
+Circuit files are ``.bench`` or BLIF (chosen by extension).
+"""
+
+import argparse
+import sys
+
+from . import METHODS, verify
+from .netlist import bench, blif
+
+
+def _load_circuit(path):
+    if str(path).endswith((".blif", ".BLIF")):
+        return blif.load(path)
+    return bench.load(path)
+
+
+def _cmd_verify(args):
+    spec = _load_circuit(args.spec)
+    impl = _load_circuit(args.impl)
+    options = {}
+    if args.method == "van_eijk":
+        options.update(
+            use_simulation=not args.no_simulation,
+            use_fundeps=not args.no_fundeps,
+            use_retiming=not args.no_retiming,
+        )
+        if args.reach_bound:
+            options["reach_bound"] = args.reach_bound
+        if args.time_limit:
+            options["time_limit"] = args.time_limit
+        if args.node_limit:
+            options["node_limit"] = args.node_limit
+    elif args.method == "traversal":
+        if args.time_limit:
+            options["time_limit"] = args.time_limit
+        if args.node_limit:
+            options["node_limit"] = args.node_limit
+    elif args.method == "bmc":
+        options["max_depth"] = args.max_depth
+        if args.time_limit:
+            options["time_limit"] = args.time_limit
+    result = verify(spec, impl, method=args.method,
+                    match_inputs=args.match_inputs,
+                    match_outputs=args.match_outputs, **options)
+    print(result)
+    if result.refuted and result.counterexample is not None:
+        print("counterexample ({} frames):".format(
+            result.counterexample.length))
+        for i, frame in enumerate(result.counterexample.full_sequence()):
+            assignment = " ".join(
+                "{}={}".format(net, int(value))
+                for net, value in sorted(frame.items())
+            )
+            print("  t={}: {}".format(i, assignment))
+    if result.details:
+        for key, value in sorted(result.details.items()):
+            print("  {}: {}".format(key, value))
+    return 0 if result.proved else (2 if result.refuted else 1)
+
+
+def _cmd_table1(args):
+    from .circuits import table1_suite
+    from .eval import render_table1, run_table
+
+    rows = table1_suite(scales=tuple(args.scales))
+    results = run_table(
+        rows,
+        optimize_level=args.optimize_level,
+        traversal_time_limit=args.traversal_time_limit,
+        proposed_time_limit=args.proposed_time_limit,
+    )
+    print(render_table1(results))
+    return 0
+
+
+def _cmd_info(args):
+    circuit = _load_circuit(args.circuit)
+    for key, value in circuit.stats().items():
+        print("{}: {}".format(key, value))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-sec",
+        description="Sequential equivalence checking without state space "
+                    "traversal (van Eijk, DATE 1998).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_verify = sub.add_parser("verify", help="check two circuits")
+    p_verify.add_argument("spec")
+    p_verify.add_argument("impl")
+    p_verify.add_argument("--method", choices=METHODS, default="van_eijk")
+    p_verify.add_argument("--match-inputs", choices=["name", "order"],
+                          default="name")
+    p_verify.add_argument("--match-outputs", choices=["name", "order"],
+                          default="order")
+    p_verify.add_argument("--no-simulation", action="store_true")
+    p_verify.add_argument("--no-fundeps", action="store_true")
+    p_verify.add_argument("--no-retiming", action="store_true")
+    p_verify.add_argument("--reach-bound", choices=["approx", "exact"])
+    p_verify.add_argument("--time-limit", type=float)
+    p_verify.add_argument("--node-limit", type=int)
+    p_verify.add_argument("--max-depth", type=int, default=32,
+                          help="BMC unrolling bound")
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_table = sub.add_parser("table1", help="run the Table-1 experiment")
+    p_table.add_argument("--scales", nargs="+", default=["small"],
+                         choices=["small", "medium", "large"])
+    p_table.add_argument("--optimize-level", type=int, default=2)
+    p_table.add_argument("--traversal-time-limit", type=float, default=60.0)
+    p_table.add_argument("--proposed-time-limit", type=float, default=300.0)
+    p_table.set_defaults(func=_cmd_table1)
+
+    p_info = sub.add_parser("info", help="print circuit statistics")
+    p_info.add_argument("circuit")
+    p_info.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

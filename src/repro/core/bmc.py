@@ -1,0 +1,113 @@
+"""Bounded model checking for inequivalence.
+
+The signal-correspondence method refutes only what random simulation
+happens to hit; BMC is the *complete* refuter up to a depth bound: unroll
+the product machine ``k`` frames from the initial state, assert "some
+output pair differs in the last frame", and ask the CDCL solver.  Searching
+depths incrementally yields a **shortest** counterexample — a sharper
+diagnostic than either simulation or traversal rings.
+"""
+
+import time
+
+from ..errors import ResourceBudgetExceeded
+from ..netlist.product import build_product
+from ..reach.result import CexTrace, SecResult
+from ..sat.solver import Solver
+from ..sat.tseitin import TseitinEncoder
+
+
+def bmc_refute(product, max_depth=32, time_limit=None,
+               conflict_budget=None):
+    """Search for a counterexample of length 1..max_depth.
+
+    Returns a :class:`SecResult`: refuted (with a shortest-length trace),
+    or inconclusive — BMC can never *prove* equivalence.
+    """
+    start = time.monotonic()
+    deadline = None if time_limit is None else start + time_limit
+    circuit = product.circuit
+    circuit.validate()
+    enc = TseitinEncoder()
+    frame_vars = []
+    solver = Solver()
+    leaves = None
+    for depth in range(1, max_depth + 1):
+        if deadline is not None and time.monotonic() > deadline:
+            return SecResult(
+                equivalent=None, method="bmc",
+                iterations=depth - 1,
+                seconds=time.monotonic() - start,
+                details={"aborted": "time budget exhausted"},
+            )
+        clause_mark = len(enc.cnf.clauses)
+        current = enc.encode_frame(circuit, leaves=leaves)
+        frame_vars.append(current)
+        if depth == 1:
+            for net, reg in circuit.registers.items():
+                enc.add_clause(
+                    [current[net] if reg.init else -current[net]]
+                )
+        leaves = {
+            net: current[reg.data_in]
+            for net, reg in circuit.registers.items()
+        }
+        # Difference selector for this frame, activated by assumption.
+        diff_lits = []
+        for s_out, i_out in product.output_pairs:
+            diff_lits.append(-enc.equal_var(current[s_out], current[i_out]))
+        any_diff = enc.new_var()
+        for lit in diff_lits:
+            enc.add_clause([-lit, any_diff])
+        enc.add_clause([-any_diff] + diff_lits)
+        for clause in enc.cnf.clauses[clause_mark:]:
+            if not solver.add_clause(clause):
+                return SecResult(
+                    equivalent=None, method="bmc",
+                    iterations=depth,
+                    seconds=time.monotonic() - start,
+                    details={"note": "unrolling became unsatisfiable"},
+                )
+        verdict = solver.solve(assumptions=[any_diff],
+                               conflict_budget=conflict_budget)
+        if verdict is None:
+            return SecResult(
+                equivalent=None, method="bmc",
+                iterations=depth,
+                seconds=time.monotonic() - start,
+                details={"aborted": "conflict budget exhausted"},
+            )
+        if verdict:
+            model = solver.model()
+            inputs = [
+                {
+                    net: model.get(frame[net], False)
+                    for net in circuit.inputs
+                }
+                for frame in frame_vars
+            ]
+            trace = CexTrace(
+                inputs=inputs[:-1],
+                final_input=inputs[-1],
+            )
+            return SecResult(
+                equivalent=False, method="bmc",
+                iterations=depth,
+                seconds=time.monotonic() - start,
+                counterexample=trace,
+                details={"cex_depth": depth},
+            )
+    return SecResult(
+        equivalent=None, method="bmc",
+        iterations=max_depth,
+        seconds=time.monotonic() - start,
+        details={"bound_reached": max_depth},
+    )
+
+
+def check_inequivalence_bmc(spec, impl, match_inputs="name",
+                            match_outputs="order", **options):
+    """Convenience wrapper over :func:`bmc_refute`."""
+    product = build_product(spec, impl, match_inputs=match_inputs,
+                            match_outputs=match_outputs)
+    return bmc_refute(product, **options)

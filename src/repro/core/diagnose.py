@@ -1,0 +1,116 @@
+"""Counterexample diagnosis: turn a refuted SecResult into an explanation.
+
+Given a product machine and a counterexample trace, the report pinpoints the
+first frame where an output pair diverges, which register values differ at
+that frame, and the structural cone of suspicion (nets feeding the failing
+outputs whose values differ between specification and implementation
+halves — candidates for the synthesis bug).
+"""
+
+from ..errors import VerificationError
+from ..netlist.cones import transitive_fanin
+from ..netlist.vcd import dumps_trace, replay_frames
+
+
+class DiagnosisReport:
+    """Structured explanation of one counterexample."""
+
+    def __init__(self, trace, failing_pairs, first_divergence_frame,
+                 diverging_state, suspect_nets, frames):
+        self.trace = trace
+        self.failing_pairs = failing_pairs
+        self.first_divergence_frame = first_divergence_frame
+        self.diverging_state = diverging_state
+        self.suspect_nets = suspect_nets
+        self.frames = frames
+
+    def summary(self):
+        lines = [
+            "counterexample of length {} frame(s)".format(self.trace.length),
+            "failing output pair(s): {}".format(
+                ", ".join("{} != {}".format(s, i)
+                          for s, i in self.failing_pairs)
+            ),
+            "first divergence at frame {}".format(
+                self.first_divergence_frame
+            ),
+        ]
+        if self.diverging_state:
+            lines.append("registers differing at divergence: {}".format(
+                ", ".join(sorted(self.diverging_state))
+            ))
+        if self.suspect_nets:
+            lines.append("suspect nets (divergent, in failing cone): {}".format(
+                ", ".join(sorted(self.suspect_nets)[:12])
+            ))
+        return "\n".join(lines)
+
+    def to_vcd(self, circuit, nets=None):
+        """The replayed trace as VCD text (for a waveform viewer)."""
+        return dumps_trace(circuit, self.frames, nets=nets)
+
+
+def diagnose(product, result):
+    """Explain a refuted verification result; returns a DiagnosisReport."""
+    if not result.refuted:
+        raise VerificationError("diagnose() needs a refuted result")
+    if result.counterexample is None:
+        raise VerificationError("result carries no counterexample")
+    trace = result.counterexample
+    circuit = product.circuit
+    frames = replay_frames(circuit, trace.full_sequence())
+    final = frames[-1]
+    failing_pairs = [
+        (s, i) for s, i in product.output_pairs if final[s] != final[i]
+    ]
+    if not failing_pairs:
+        raise VerificationError(
+            "counterexample does not reproduce an output mismatch"
+        )
+    # Pair up corresponding nets by their names (s.X vs i.X survives light
+    # synthesis; otherwise only registers/outputs are compared).
+    mirrored = _mirrored_nets(product)
+    first_divergence = len(frames) - 1
+    for t, frame in enumerate(frames):
+        if any(frame[s] != frame[i] for s, i in product.output_pairs):
+            first_divergence = t
+            break
+        if any(frame[a] != frame[b] for a, b in mirrored):
+            first_divergence = t
+            break
+    divergence_frame = frames[first_divergence]
+    diverging_state = {
+        a for a, b in mirrored
+        if a in circuit.registers and divergence_frame[a] != divergence_frame[b]
+    }
+    # Cone of suspicion: nets in the combinational fanin of a failing output
+    # whose mirror partner disagrees at the final frame.
+    cone = set()
+    for s, i in failing_pairs:
+        cone |= transitive_fanin(circuit, [s, i], stop_at_registers=False)
+    suspects = {
+        a for a, b in mirrored
+        if a in cone and final[a] != final[b]
+    }
+    return DiagnosisReport(
+        trace=trace,
+        failing_pairs=failing_pairs,
+        first_divergence_frame=first_divergence,
+        diverging_state=diverging_state,
+        suspect_nets=suspects,
+        frames=frames,
+    )
+
+
+def _mirrored_nets(product):
+    """Pairs (s.X, i.X) present on both sides (name-preserved signals)."""
+    from ..netlist.product import IMPL_PREFIX, SPEC_PREFIX
+
+    pairs = []
+    for net in product.spec_nets:
+        if not net.startswith(SPEC_PREFIX):
+            continue
+        partner = IMPL_PREFIX + net[len(SPEC_PREFIX):]
+        if partner in product.impl_nets:
+            pairs.append((net, partner))
+    return pairs

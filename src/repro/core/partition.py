@@ -1,0 +1,115 @@
+"""Equivalence-class partition over signal functions.
+
+The fixed-point iteration works on *functions*, not nets: nets whose
+polarity-normalized BDDs coincide are structurally identical and share one
+:class:`SignalFunction` record (with all their net names attached).  The
+partition stores classes of such records and only ever splits them, which is
+what guarantees termination in at most |F| + 1 iterations (Theorem 2).
+"""
+
+
+class SignalFunction:
+    """One distinct polarity-normalized current-state function.
+
+    ``edge`` is the normalized BDD (value 1 at the reference point).
+    ``members`` lists ``(net, complemented)``: net's raw function equals the
+    normalized function complemented when the flag is set — this is how a
+    single class expresses both equivalences and antivalences.
+    ``register_vars`` lists ``(state_var_id, complemented)`` for members that
+    are register outputs (fodder for the functional-dependency substitution).
+    """
+
+    __slots__ = ("edge", "members", "register_vars", "signature")
+
+    def __init__(self, edge, signature=None):
+        self.edge = edge
+        self.members = []
+        self.register_vars = []
+        self.signature = signature
+
+    def add_net(self, net, complemented, register_var=None):
+        self.members.append((net, complemented))
+        if register_var is not None:
+            self.register_vars.append((register_var, complemented))
+
+    def nets(self):
+        return [net for net, _ in self.members]
+
+    def __repr__(self):
+        return "SignalFunction(edge={}, nets={})".format(self.edge, self.nets())
+
+
+class Partition:
+    """A partition of SignalFunction records into equivalence classes."""
+
+    def __init__(self, classes):
+        self.classes = [list(cls) for cls in classes if cls]
+        self._index = {}
+        for idx, cls in enumerate(self.classes):
+            for fn in cls:
+                self._index[fn.edge] = idx
+
+    @classmethod
+    def discrete(cls, functions):
+        """Every function alone in its own class."""
+        return cls([[fn] for fn in functions])
+
+    @classmethod
+    def from_keys(cls, functions, key):
+        """Group functions by ``key(fn)``."""
+        buckets = {}
+        for fn in functions:
+            buckets.setdefault(key(fn), []).append(fn)
+        return cls(list(buckets.values()))
+
+    def class_of(self, edge):
+        """The class (list of SignalFunction) containing the given edge."""
+        idx = self._index.get(edge)
+        return None if idx is None else self.classes[idx]
+
+    def same_class(self, edge_a, edge_b):
+        ia = self._index.get(edge_a)
+        ib = self._index.get(edge_b)
+        return ia is not None and ia == ib
+
+    def functions(self):
+        for cls in self.classes:
+            yield from cls
+
+    @property
+    def num_classes(self):
+        return len(self.classes)
+
+    @property
+    def num_functions(self):
+        return sum(len(cls) for cls in self.classes)
+
+    def nontrivial_classes(self):
+        """Classes relating at least two distinct functions."""
+        return [cls for cls in self.classes if len(cls) > 1]
+
+    def refine(self, splitter):
+        """Split every class by ``splitter(cls) -> list of subclasses``.
+
+        Returns ``(new_partition, changed)``.
+        """
+        new_classes = []
+        changed = False
+        for cls in self.classes:
+            if len(cls) == 1:
+                new_classes.append(cls)
+                continue
+            parts = splitter(cls)
+            if len(parts) > 1:
+                changed = True
+            new_classes.extend(parts)
+        return Partition(new_classes), changed
+
+    def stats(self):
+        sizes = sorted((len(c) for c in self.classes), reverse=True)
+        return {
+            "classes": len(sizes),
+            "functions": sum(sizes),
+            "largest_class": sizes[0] if sizes else 0,
+            "nontrivial_classes": sum(1 for s in sizes if s > 1),
+        }

@@ -1,0 +1,96 @@
+"""Forward retiming with lag 1 as *signal augmentation* (Fig. 3).
+
+The verification method never moves latches (avoiding the initial-state
+problems of real retiming, [13]); instead, for every gate whose fanins all
+have a "shifted-by-one" counterpart, it adds the combinational gate that
+forward retiming would have produced: the same gate type applied to the
+shifted fanins.  The shifted counterpart of a register output is its data
+input; the shifted counterpart of an augmented gate is obtained by applying
+the step again — which is how repeated invocation reaches lags below -1
+(§3: "because this step may be applied more than once, also retiming
+transformations with a lag smaller than 1 are considered").
+
+Augmented signals are ordinary combinational gates of the product circuit:
+they simulate, normalize and refine exactly like original signals — which
+is why the same augmenter serves both the BDD engine
+(:class:`RetimingAugmenter`) and the SAT engine
+(:class:`CircuitAugmenter` used directly).
+"""
+
+_AUG_PREFIX = "@rt"
+
+
+class CircuitAugmenter:
+    """Adds lag-1 retimed signals to a circuit (no BDDs involved)."""
+
+    def __init__(self, circuit):
+        self.circuit = circuit
+        self.rounds = 0
+        # net -> net holding its value one frame later (expressed at frame t).
+        self.shifted = {
+            name: reg.data_in for name, reg in circuit.registers.items()
+        }
+        self.augmented_nets = []
+
+    def eligible_gates(self):
+        """Gates all of whose fanins have shifted counterparts, but which
+        do not have one themselves yet."""
+        circuit = self.circuit
+        result = []
+        for name, gate in circuit.gates.items():
+            if name in self.shifted:
+                continue
+            if not gate.fanins:
+                continue
+            if all(f in self.shifted for f in gate.fanins):
+                result.append(name)
+        return result
+
+    def augment_round(self, on_new_gate=None):
+        """Add one round of retimed signals; returns the new net names.
+
+        ``on_new_gate(name)`` is invoked right after each gate is added
+        (the BDD engine uses it to extend its function table).
+        """
+        circuit = self.circuit
+        new_nets = []
+        for name in self.eligible_gates():
+            gate = circuit.gates[name]
+            shifted_fanins = [self.shifted[f] for f in gate.fanins]
+            new_name = circuit.fresh_name(
+                "{}{}_{}".format(_AUG_PREFIX, self.rounds + 1, name)
+            )
+            circuit.add_gate(new_name, gate.gtype, shifted_fanins)
+            if on_new_gate is not None:
+                on_new_gate(new_name)
+            self.shifted[name] = new_name
+            new_nets.append(new_name)
+        if new_nets:
+            self.rounds += 1
+            self.augmented_nets.extend(new_nets)
+        return new_nets
+
+
+class RetimingAugmenter(CircuitAugmenter):
+    """The BDD-engine flavour: keeps a :class:`TimeFrame` in sync."""
+
+    def __init__(self, frame):
+        super().__init__(frame.circuit)
+        self.frame = frame
+
+    def augment_round(self):
+        frame = self.frame
+
+        def on_new_gate(name):
+            gate = frame.circuit.gates[name]
+            frame.attach_gate_signal(name)
+
+        new_nets = super().augment_round(on_new_gate=on_new_gate)
+        if new_nets:
+            frame.resimulate()
+        return new_nets
+
+
+def is_augmented(net):
+    """True for nets created by the augmenter."""
+    return net.startswith(_AUG_PREFIX)

@@ -1,0 +1,27 @@
+"""Evaluation harness: Table-1 runner, ablations, text rendering."""
+
+from .table1 import Table1Result, run_row, run_table
+from .render import fmt_any, render_ablation, render_table1
+from .ablations import (
+    ablation_backends,
+    ablation_fundep,
+    ablation_opt_level,
+    ablation_reach_bound,
+    ablation_retiming,
+    ablation_simulation,
+)
+
+__all__ = [
+    "Table1Result",
+    "ablation_backends",
+    "ablation_fundep",
+    "ablation_opt_level",
+    "ablation_reach_bound",
+    "ablation_retiming",
+    "ablation_simulation",
+    "fmt_any",
+    "render_ablation",
+    "render_table1",
+    "run_row",
+    "run_table",
+]

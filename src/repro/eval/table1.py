@@ -1,0 +1,85 @@
+"""Table 1 of the paper: symbolic traversal vs. the proposed method.
+
+For every benchmark pair (original vs. retimed+optimized) both engines run
+under explicit budgets (the paper used 3600 s and 100 MB of BDD nodes), and
+the same columns are reported: register counts before/after synthesis;
+traversal time, peak BDD nodes, iterations; proposed-method time, peak
+nodes, iterations (+ retiming rounds); and the percentage of specification
+signals with a corresponding implementation signal.
+"""
+
+from ..core import VanEijkVerifier
+from ..netlist.product import build_product
+from ..reach import check_equivalence_traversal
+
+
+class Table1Result:
+    """One row of Table 1 (plus verdicts, for sanity checking)."""
+
+    def __init__(self, name, regs_orig, regs_opt, traversal, proposed):
+        self.name = name
+        self.regs_orig = regs_orig
+        self.regs_opt = regs_opt
+        self.traversal = traversal
+        self.proposed = proposed
+
+    @property
+    def eqs_percent(self):
+        return self.proposed.details.get("eqs_percent")
+
+    def as_dict(self):
+        def method_cols(result, with_retimes=False):
+            if result is None:
+                return {"time": None, "nodes": None, "its": None}
+            cols = {
+                "time": result.seconds,
+                "nodes": result.peak_nodes,
+                "its": result.iterations,
+                "verdict": result.equivalent,
+            }
+            if result.inconclusive:
+                cols["aborted"] = result.details.get("aborted",
+                                                     "inconclusive")
+            if with_retimes:
+                cols["retimes"] = result.details.get("retime_rounds")
+            return cols
+
+        return {
+            "circuit": self.name,
+            "regs": "{}/{}".format(self.regs_orig, self.regs_opt),
+            "traversal": method_cols(self.traversal),
+            "proposed": method_cols(self.proposed, with_retimes=True),
+            "eqs": self.eqs_percent,
+        }
+
+
+def run_row(row, optimize_level=2, traversal_time_limit=60.0,
+            traversal_node_limit=200000, traversal_max_iterations=600,
+            proposed_time_limit=300.0, proposed_node_limit=2000000,
+            run_traversal=True, verifier_options=None):
+    """Run both engines on one suite row; returns a :class:`Table1Result`."""
+    spec, impl = row.pair(optimize_level=optimize_level)
+    product = build_product(spec, impl, match_inputs="name",
+                            match_outputs="order")
+    options = dict(
+        time_limit=proposed_time_limit,
+        node_limit=proposed_node_limit,
+    )
+    options.update(verifier_options or {})
+    proposed = VanEijkVerifier(**options).verify_product(product)
+    traversal = None
+    if run_traversal:
+        traversal = check_equivalence_traversal(
+            product,
+            time_limit=traversal_time_limit,
+            node_limit=traversal_node_limit,
+            max_iterations=traversal_max_iterations,
+        )
+    return Table1Result(
+        row.name, spec.num_registers, impl.num_registers, traversal, proposed
+    )
+
+
+def run_table(rows, **kwargs):
+    """Run a list of suite rows; returns the result list in order."""
+    return [run_row(row, **kwargs) for row in rows]

@@ -1,0 +1,546 @@
+"""And-Inverter Graphs with structural hashing, AIGER I/O and SAT sweeping.
+
+The AIG is the modern workhorse representation for equivalence checking;
+``fraig`` below is exactly the *combinational* specialization of the paper's
+signal correspondence (simulate to guess equivalence classes, prove with a
+base engine, merge) — implemented here with the CDCL solver.
+
+Literal encoding follows AIGER: variable ``v`` has literals ``2v`` (positive)
+and ``2v + 1`` (negated); variable 0 is constant FALSE, so literal 0 is
+FALSE and literal 1 is TRUE.
+"""
+
+import random
+
+from ..errors import NetlistError, ParseError
+from .circuit import Circuit, GateType
+
+FALSE = 0
+TRUE = 1
+
+
+def lit_neg(lit):
+    return lit ^ 1
+
+
+def lit_var(lit):
+    return lit >> 1
+
+
+def lit_sign(lit):
+    return lit & 1
+
+
+class Aig:
+    """A combinational-plus-latches AIG."""
+
+    def __init__(self):
+        self.num_vars = 0           # variable 0 is the constant
+        self.inputs = []            # list of variables
+        self.latches = []           # list of (var, next_lit, init_bool)
+        self.outputs = []           # list of literals
+        self.ands = {}              # var -> (rhs0, rhs1), rhs0 >= rhs1
+        self._strash = {}           # (rhs0, rhs1) -> var
+        self.names = {}             # var -> name (optional)
+
+    # -- construction -------------------------------------------------------
+
+    def _new_var(self):
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_input(self, name=None):
+        var = self._new_var()
+        self.inputs.append(var)
+        if name:
+            self.names[var] = name
+        return 2 * var
+
+    def add_latch(self, init=False, name=None):
+        """Latch output literal; set its next-state with set_latch_next."""
+        var = self._new_var()
+        self.latches.append([var, FALSE, bool(init)])
+        if name:
+            self.names[var] = name
+        return 2 * var
+
+    def set_latch_next(self, latch_lit, next_lit):
+        var = lit_var(latch_lit)
+        for entry in self.latches:
+            if entry[0] == var:
+                entry[1] = next_lit
+                return
+        raise NetlistError("literal {} is not a latch".format(latch_lit))
+
+    def add_output(self, lit):
+        self.outputs.append(lit)
+        return lit
+
+    def and2(self, a, b):
+        """Structurally hashed AND with constant/idempotence rules."""
+        if a == FALSE or b == FALSE or a == lit_neg(b):
+            return FALSE
+        if a == TRUE or a == b:
+            return b
+        if b == TRUE:
+            return a
+        if a < b:
+            a, b = b, a
+        key = (a, b)
+        var = self._strash.get(key)
+        if var is None:
+            var = self._new_var()
+            self.ands[var] = key
+            self._strash[key] = var
+        return 2 * var
+
+    def or2(self, a, b):
+        return lit_neg(self.and2(lit_neg(a), lit_neg(b)))
+
+    def xor2(self, a, b):
+        return self.or2(self.and2(a, lit_neg(b)), self.and2(lit_neg(a), b))
+
+    def mux(self, sel, then_lit, else_lit):
+        return self.or2(self.and2(sel, then_lit),
+                        self.and2(lit_neg(sel), else_lit))
+
+    def and_many(self, literals):
+        literals = list(literals)
+        if not literals:
+            return TRUE
+        while len(literals) > 1:
+            nxt = [
+                self.and2(literals[i], literals[i + 1])
+                for i in range(0, len(literals) - 1, 2)
+            ]
+            if len(literals) % 2:
+                nxt.append(literals[-1])
+            literals = nxt
+        return literals[0]
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def num_ands(self):
+        return len(self.ands)
+
+    def is_input(self, var):
+        return var in set(self.inputs)
+
+    def topo_vars(self):
+        """AND variables in topological order."""
+        order = []
+        state = {}
+        for root in self.ands:
+            if state.get(root):
+                continue
+            stack = [root]
+            while stack:
+                var = stack[-1]
+                if state.get(var) == 2 or var not in self.ands:
+                    stack.pop()
+                    continue
+                children = [
+                    lit_var(l) for l in self.ands[var]
+                    if lit_var(l) in self.ands and state.get(lit_var(l)) != 2
+                ]
+                if children:
+                    for child in children:
+                        if state.get(child) == 1:
+                            raise NetlistError("cyclic AIG")
+                    state[var] = 1
+                    stack.extend(children)
+                else:
+                    state[var] = 2
+                    order.append(var)
+                    stack.pop()
+        return order
+
+    def simulate(self, env, width=1):
+        """Bit-parallel evaluation; ``env`` maps input/latch vars to ints."""
+        full = (1 << width) - 1
+        values = {0: 0}
+        for var in self.inputs:
+            values[var] = env[var] & full
+        for var, _, _ in self.latches:
+            values[var] = env[var] & full
+
+        def lit_value(lit):
+            word = values[lit_var(lit)]
+            return word ^ full if lit_sign(lit) else word
+
+        for var in self.topo_vars():
+            rhs0, rhs1 = self.ands[var]
+            values[var] = lit_value(rhs0) & lit_value(rhs1)
+        return values, lit_value
+
+    def cleanup(self):
+        """Drop AND nodes unreachable from outputs and latch next-states."""
+        keep = set()
+        stack = [lit_var(l) for l in self.outputs]
+        stack.extend(lit_var(entry[1]) for entry in self.latches)
+        while stack:
+            var = stack.pop()
+            if var in keep or var not in self.ands:
+                continue
+            keep.add(var)
+            stack.extend(lit_var(l) for l in self.ands[var])
+        dropped = [var for var in self.ands if var not in keep]
+        for var in dropped:
+            key = self.ands.pop(var)
+            self._strash.pop(key, None)
+        return len(dropped)
+
+    def __repr__(self):
+        return "Aig({} in, {} latches, {} out, {} ands)".format(
+            len(self.inputs), len(self.latches), len(self.outputs),
+            self.num_ands,
+        )
+
+
+# --------------------------------------------------------------------------
+# Circuit conversion
+# --------------------------------------------------------------------------
+
+
+def from_circuit(circuit):
+    """Convert a gate-level circuit into an AIG; returns (aig, lit_of).
+
+    ``lit_of`` maps every net to its AIG literal.
+    """
+    circuit.validate()
+    aig = Aig()
+    lit_of = {}
+    for net in circuit.inputs:
+        lit_of[net] = aig.add_input(name=net)
+    for net, reg in circuit.registers.items():
+        lit_of[net] = aig.add_latch(init=reg.init, name=net)
+    for name in circuit.topo_order():
+        gate = circuit.gates[name]
+        operands = [lit_of[f] for f in gate.fanins]
+        lit_of[name] = _gate_to_aig(aig, gate.gtype, operands)
+    for net, reg in circuit.registers.items():
+        aig.set_latch_next(lit_of[net], lit_of[reg.data_in])
+    for net in circuit.outputs:
+        aig.add_output(lit_of[net])
+    return aig, lit_of
+
+
+def _gate_to_aig(aig, gtype, operands):
+    if gtype is GateType.AND:
+        return aig.and_many(operands)
+    if gtype is GateType.NAND:
+        return lit_neg(aig.and_many(operands))
+    if gtype is GateType.OR:
+        return lit_neg(aig.and_many(lit_neg(o) for o in operands))
+    if gtype is GateType.NOR:
+        return aig.and_many(lit_neg(o) for o in operands)
+    if gtype in (GateType.XOR, GateType.XNOR):
+        acc = operands[0]
+        for op in operands[1:]:
+            acc = aig.xor2(acc, op)
+        return acc if gtype is GateType.XOR else lit_neg(acc)
+    if gtype is GateType.NOT:
+        return lit_neg(operands[0])
+    if gtype is GateType.BUF:
+        return operands[0]
+    if gtype is GateType.CONST0:
+        return FALSE
+    if gtype is GateType.CONST1:
+        return TRUE
+    raise NetlistError("unknown gate type: {!r}".format(gtype))
+
+
+def to_circuit(aig, name="aig"):
+    """Convert an AIG back to a gate-level circuit (AND/NOT gates)."""
+    circuit = Circuit(name)
+    net_of_var = {}
+    for var in aig.inputs:
+        net = aig.names.get(var, "pi{}".format(var))
+        circuit.add_input(net)
+        net_of_var[var] = net
+    for var, _, init in aig.latches:
+        net = aig.names.get(var, "lat{}".format(var))
+        circuit.add_register(net, "__pending", init=init)
+        net_of_var[var] = net
+    const_net = None
+
+    def ensure_const():
+        nonlocal const_net
+        if const_net is None:
+            const_net = circuit.fresh_name("aig_const0")
+            circuit.add_gate(const_net, GateType.CONST0, [])
+        return const_net
+
+    inverters = {}
+
+    def net_of_lit(lit):
+        var = lit_var(lit)
+        if var == 0:
+            base = ensure_const()
+            if not lit_sign(lit):
+                return base
+            # TRUE literal: invert the constant once.
+            return net_of_lit_cached_not(base)
+        base = net_of_var[var]
+        if not lit_sign(lit):
+            return base
+        return net_of_lit_cached_not(base)
+
+    def net_of_lit_cached_not(base):
+        inv = inverters.get(base)
+        if inv is None:
+            inv = circuit.fresh_name("n_{}".format(base))
+            circuit.add_gate(inv, GateType.NOT, [base])
+            inverters[base] = inv
+        return inv
+
+    for var in aig.topo_vars():
+        rhs0, rhs1 = aig.ands[var]
+        net = circuit.fresh_name("a{}".format(var))
+        circuit.add_gate(net, GateType.AND,
+                         [net_of_lit(rhs0), net_of_lit(rhs1)])
+        net_of_var[var] = net
+    for var, next_lit, _ in aig.latches:
+        circuit.set_register_input(net_of_var[var], net_of_lit(next_lit))
+    for lit in aig.outputs:
+        circuit.add_output(net_of_lit(lit))
+    circuit.validate()
+    return circuit
+
+
+# --------------------------------------------------------------------------
+# AIGER ASCII (.aag) I/O
+# --------------------------------------------------------------------------
+
+
+def dumps_aag(aig):
+    """Serialize to AIGER ASCII (aag) format."""
+    max_var = aig.num_vars
+    lines = [
+        "aag {} {} {} {} {}".format(
+            max_var, len(aig.inputs), len(aig.latches), len(aig.outputs),
+            aig.num_ands,
+        )
+    ]
+    for var in aig.inputs:
+        lines.append(str(2 * var))
+    for var, next_lit, init in aig.latches:
+        # AIGER latch line: "out next [init]"; init defaults to 0.
+        if init:
+            lines.append("{} {} 1".format(2 * var, next_lit))
+        else:
+            lines.append("{} {}".format(2 * var, next_lit))
+    for lit in aig.outputs:
+        lines.append(str(lit))
+    for var in sorted(aig.ands):
+        rhs0, rhs1 = aig.ands[var]
+        lines.append("{} {} {}".format(2 * var, rhs0, rhs1))
+    for idx, var in enumerate(aig.inputs):
+        if var in aig.names:
+            lines.append("i{} {}".format(idx, aig.names[var]))
+    for idx, (var, _, _) in enumerate(aig.latches):
+        if var in aig.names:
+            lines.append("l{} {}".format(idx, aig.names[var]))
+    return "\n".join(lines) + "\n"
+
+
+def loads_aag(text):
+    """Parse AIGER ASCII (aag) format."""
+    lines = [l for l in text.splitlines() if l.strip()]
+    if not lines or not lines[0].startswith("aag"):
+        raise ParseError("not an aag file")
+    header = lines[0].split()
+    if len(header) != 6:
+        raise ParseError("bad aag header")
+    _, m, i, l, o, a = header
+    m, i, l, o, a = int(m), int(i), int(l), int(o), int(a)
+    aig = Aig()
+    aig.num_vars = m
+    idx = 1
+    for _ in range(i):
+        lit = int(lines[idx].split()[0])
+        if lit_sign(lit):
+            raise ParseError("negated input literal")
+        aig.inputs.append(lit_var(lit))
+        idx += 1
+    for _ in range(l):
+        parts = lines[idx].split()
+        if len(parts) < 2:
+            raise ParseError("bad latch line")
+        out_lit, next_lit = int(parts[0]), int(parts[1])
+        init = len(parts) > 2 and parts[2] == "1"
+        aig.latches.append([lit_var(out_lit), next_lit, init])
+        idx += 1
+    for _ in range(o):
+        aig.outputs.append(int(lines[idx].split()[0]))
+        idx += 1
+    for _ in range(a):
+        parts = lines[idx].split()
+        if len(parts) != 3:
+            raise ParseError("bad and line")
+        lhs, rhs0, rhs1 = (int(p) for p in parts)
+        if lit_sign(lhs):
+            raise ParseError("negated and output")
+        if rhs0 < rhs1:
+            rhs0, rhs1 = rhs1, rhs0
+        aig.ands[lit_var(lhs)] = (rhs0, rhs1)
+        aig._strash[(rhs0, rhs1)] = lit_var(lhs)
+        idx += 1
+    # Symbol table.
+    while idx < len(lines):
+        line = lines[idx]
+        idx += 1
+        if line.startswith("c"):
+            break
+        kind, _, name = line.partition(" ")
+        if not name:
+            continue
+        if kind.startswith("i"):
+            aig.names[aig.inputs[int(kind[1:])]] = name
+        elif kind.startswith("l"):
+            aig.names[aig.latches[int(kind[1:])][0]] = name
+    return aig
+
+
+def dump_aag(aig, path):
+    with open(path, "w") as handle:
+        handle.write(dumps_aag(aig))
+
+
+def load_aag(path):
+    with open(path) as handle:
+        return loads_aag(handle.read())
+
+
+# --------------------------------------------------------------------------
+# fraig: SAT sweeping (combinational signal correspondence)
+# --------------------------------------------------------------------------
+
+
+def fraig(aig, sim_rounds=8, sim_width=64, seed=2024, conflict_budget=None):
+    """Functionally-reduce a *combinational* AIG by SAT sweeping.
+
+    Simulation partitions nodes into candidate classes (with polarity, so
+    antivalent nodes merge too); SAT proves or refutes each candidate
+    against its class representative; refutations feed new distinguishing
+    patterns back into the simulation signatures.  Returns ``(new_aig,
+    lit_map)``, where ``lit_map`` sends old literals to new ones.
+
+    This is the paper's fixed point collapsed to one time frame — the
+    "state-of-the-art combinational verification techniques" of §1.
+    """
+    if aig.latches:
+        raise NetlistError("fraig expects a combinational AIG")
+    from ..sat.solver import Solver
+
+    rng = random.Random(seed)
+    order = aig.topo_vars()
+    input_set = set(aig.inputs)
+    # --- simulation signatures (with refinement patterns appended) -------
+    patterns = {
+        var: rng.getrandbits(sim_width * sim_rounds) for var in aig.inputs
+    }
+    width = sim_width * sim_rounds
+
+    def simulate_all():
+        values, _ = aig.simulate(patterns, width=width)
+        return values
+
+    signatures = simulate_all()
+    full = (1 << width) - 1
+    # --- SAT encoding of the AIG ------------------------------------------
+    solver = Solver()
+    sat_var = {0: solver.new_var()}
+    solver.add_clause([-sat_var[0]])  # constant FALSE
+    for var in aig.inputs:
+        sat_var[var] = solver.new_var()
+    for var in order:
+        sat_var[var] = solver.new_var()
+        rhs0, rhs1 = aig.ands[var]
+        y = sat_var[var]
+        a = _sat_lit(sat_var, rhs0)
+        b = _sat_lit(sat_var, rhs1)
+        solver.add_clause([-y, a])
+        solver.add_clause([-y, b])
+        solver.add_clause([y, -a, -b])
+
+    # --- sweeping ------------------------------------------------------------
+    # A class member is (complemented, var): the value var XOR complemented
+    # has simulation signature with bit 0 set — polarity normalization, so
+    # antivalent nodes land in one class (the constant FALSE included).
+    def norm(var):
+        sig = signatures[var] & full
+        if sig & 1:
+            return sig, (False, var)
+        return sig ^ full, (True, var)
+
+    classes = {}
+    # Inputs participate as merge *targets* only (a redundant node equal to
+    # an input maps onto it); they precede AND nodes so they become leaders.
+    for var in [0] + list(aig.inputs) + order:
+        key, member = norm(var)
+        classes.setdefault(key, []).append(member)
+
+    def member_sat_lit(member):
+        complemented, var = member
+        lit = sat_var[var]
+        return -lit if complemented else lit
+
+    def equal_under_sat(a, b):
+        la, lb = member_sat_lit(a), member_sat_lit(b)
+        for assumptions in ([la, -lb], [-la, lb]):
+            verdict = solver.solve(assumptions=assumptions,
+                                   conflict_budget=conflict_budget)
+            if verdict is not False:
+                return False  # SAT (refuted) or budget exhausted
+        return True
+
+    proven = {}  # member var -> equivalent old literal
+    for members in classes.values():
+        if len(members) < 2:
+            continue
+        leaders = [members[0]]
+        for member in members[1:]:
+            cm, vm = member
+            merged = False
+            if vm not in input_set:  # free variables are never rewritten
+                for cl, vl in leaders:
+                    if equal_under_sat((cl, vl), member):
+                        # vm == vl XOR cl XOR cm, as an old-AIG literal.
+                        proven[vm] = 2 * vl + (1 if cl != cm else 0)
+                        merged = True
+                        break
+            if not merged:
+                leaders.append(member)
+
+    # --- rebuild ---------------------------------------------------------------
+    new_aig = Aig()
+    lit_map = {FALSE: FALSE, TRUE: TRUE}
+
+    def resolve(lit):
+        return lit_map[lit]
+
+    for var in aig.inputs:
+        lit_map[2 * var] = new_aig.add_input(name=aig.names.get(var))
+        lit_map[2 * var + 1] = lit_neg(lit_map[2 * var])
+    for var in order:
+        target = proven.get(var)
+        if target is not None:
+            # Leaders precede members in topological order, so the target
+            # literal is already mapped.
+            new_lit = resolve(target)
+        else:
+            rhs0, rhs1 = aig.ands[var]
+            new_lit = new_aig.and2(resolve(rhs0), resolve(rhs1))
+        lit_map[2 * var] = new_lit
+        lit_map[2 * var + 1] = lit_neg(new_lit)
+    for lit in aig.outputs:
+        new_aig.add_output(resolve(lit))
+    new_aig.cleanup()
+    return new_aig, lit_map
+
+
+def _sat_lit(sat_var, lit):
+    var = sat_var[lit_var(lit)]
+    return -var if lit_sign(lit) else var

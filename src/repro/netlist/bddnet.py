@@ -1,0 +1,58 @@
+"""Building BDDs for circuit nets (shared by the CEC, reachability and
+signal-correspondence engines)."""
+
+from .circuit import GateType
+from ..errors import NetlistError
+
+
+def build_bdds(circuit, manager, leaves, nets=None):
+    """Compute BDD edges for circuit nets.
+
+    ``leaves`` maps every primary input and register-output net to a BDD edge
+    (usually a variable).  When ``nets`` is given, only the cones of those
+    nets are built; otherwise every net gets an edge.  Returns ``{net: edge}``
+    including the leaves.
+    """
+    values = dict(leaves)
+    order = circuit.topo_order()
+    if nets is not None:
+        from .cones import transitive_fanin
+
+        cone = transitive_fanin(circuit, list(nets))
+        order = [name for name in order if name in cone]
+    for name in order:
+        gate = circuit.gates[name]
+        try:
+            operands = [values[f] for f in gate.fanins]
+        except KeyError as exc:
+            raise NetlistError(
+                "no BDD leaf provided for net {!r}".format(exc.args[0])
+            ) from None
+        values[name] = gate_bdd(manager, gate.gtype, operands)
+    return values
+
+
+def gate_bdd(manager, gtype, operands):
+    """BDD of one gate application."""
+    if gtype is GateType.AND:
+        return manager.and_many(operands)
+    if gtype is GateType.NAND:
+        return manager.apply_not(manager.and_many(operands))
+    if gtype is GateType.OR:
+        return manager.or_many(operands)
+    if gtype is GateType.NOR:
+        return manager.apply_not(manager.or_many(operands))
+    if gtype is GateType.XOR or gtype is GateType.XNOR:
+        acc = operands[0]
+        for op in operands[1:]:
+            acc = manager.apply_xor(acc, op)
+        return acc if gtype is GateType.XOR else manager.apply_not(acc)
+    if gtype is GateType.NOT:
+        return manager.apply_not(operands[0])
+    if gtype is GateType.BUF:
+        return operands[0]
+    if gtype is GateType.CONST0:
+        return manager.false
+    if gtype is GateType.CONST1:
+        return manager.true
+    raise NetlistError("unknown gate type: {!r}".format(gtype))

@@ -1,0 +1,123 @@
+"""ISCAS-89 ``.bench`` format reader and writer.
+
+The format the paper's benchmark set uses::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = DFF(G14)
+    G11 = NOT(G5)
+    G14 = AND(G0, G11)
+
+DFFs initialize to 0 by ISCAS convention; this implementation additionally
+accepts ``DFF1(...)`` for registers that initialize to 1 (our synthesized
+benchmark circuits use it after forward retiming, which can produce
+initial-value-1 registers).
+"""
+
+import io
+import re
+
+from .circuit import Circuit, GateType
+from ..errors import ParseError
+
+_LINE_RE = re.compile(
+    r"^\s*(?:"
+    r"(?P<io>INPUT|OUTPUT)\s*\(\s*(?P<ionet>[^\s()]+)\s*\)"
+    r"|(?P<lhs>[^\s=()]+)\s*=\s*(?P<op>[A-Za-z0-9_]+)\s*\(\s*(?P<args>[^()]*)\)"
+    r")\s*$"
+)
+
+_GATE_ALIASES = {
+    "BUFF": GateType.BUF,
+    "BUF": GateType.BUF,
+    "AND": GateType.AND,
+    "OR": GateType.OR,
+    "NAND": GateType.NAND,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "CONST0": GateType.CONST0,
+    "CONST1": GateType.CONST1,
+}
+
+
+def loads(text, name="bench"):
+    """Parse ``.bench`` text into a validated :class:`Circuit`."""
+    circuit = Circuit(name)
+    pending_outputs = []
+    for lineno, raw in enumerate(io.StringIO(text), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _LINE_RE.match(line)
+        if not match:
+            raise ParseError("unrecognized syntax: {!r}".format(line), lineno)
+        if match.group("io"):
+            net = match.group("ionet")
+            if match.group("io") == "INPUT":
+                circuit.add_input(net)
+            else:
+                pending_outputs.append((net, lineno))
+            continue
+        lhs = match.group("lhs")
+        op = match.group("op").upper()
+        args = [a.strip() for a in match.group("args").split(",") if a.strip()]
+        if op in ("DFF", "DFF1"):
+            if len(args) != 1:
+                raise ParseError(
+                    "{} takes exactly one argument".format(op), lineno
+                )
+            circuit.add_register(lhs, args[0], init=(op == "DFF1"))
+        elif op in _GATE_ALIASES:
+            circuit.add_gate(lhs, _GATE_ALIASES[op], args)
+        else:
+            raise ParseError("unknown gate type {!r}".format(op), lineno)
+    for net, lineno in pending_outputs:
+        if not circuit.is_defined(net):
+            raise ParseError("undefined output net {!r}".format(net), lineno)
+        circuit.add_output(net)
+    circuit.validate()
+    return circuit
+
+
+def load(path, name=None):
+    """Parse a ``.bench`` file from disk."""
+    with open(path) as handle:
+        text = handle.read()
+    if name is None:
+        name = str(path).rsplit("/", 1)[-1].rsplit(".", 1)[0]
+    return loads(text, name=name)
+
+
+def dumps(circuit):
+    """Serialize a circuit to ``.bench`` text (topologically ordered gates)."""
+    lines = ["# {}".format(circuit.name)]
+    lines.append(
+        "# {} inputs, {} outputs, {} registers, {} gates".format(
+            len(circuit.inputs),
+            len(circuit.outputs),
+            circuit.num_registers,
+            circuit.num_gates,
+        )
+    )
+    for net in circuit.inputs:
+        lines.append("INPUT({})".format(net))
+    for net in circuit.outputs:
+        lines.append("OUTPUT({})".format(net))
+    for reg in circuit.registers.values():
+        op = "DFF1" if reg.init else "DFF"
+        lines.append("{} = {}({})".format(reg.name, op, reg.data_in))
+    for name in circuit.topo_order():
+        gate = circuit.gates[name]
+        lines.append(
+            "{} = {}({})".format(name, gate.gtype.value, ", ".join(gate.fanins))
+        )
+    return "\n".join(lines) + "\n"
+
+
+def dump(circuit, path):
+    """Write a circuit to a ``.bench`` file."""
+    with open(path, "w") as handle:
+        handle.write(dumps(circuit))

@@ -1,0 +1,341 @@
+"""Gate-level sequential circuit intermediate representation.
+
+A :class:`Circuit` is a deterministic Mealy machine, the paper's basic model:
+primary inputs, primary outputs, registers with a *specified initial state*,
+and combinational gates.  Every signal (net) is identified by a string name;
+gate outputs, register outputs, constants and primary inputs are all nets.
+
+The IR is deliberately simple and dictionary-based; performance-sensitive
+consumers (bit-parallel simulation, Tseitin encoding, BDD construction)
+compile it once into arrays.
+"""
+
+import enum
+
+from ..errors import NetlistError
+
+
+class GateType(enum.Enum):
+    """Combinational gate vocabulary (the ISCAS-89 set plus constants)."""
+
+    AND = "AND"
+    OR = "OR"
+    NAND = "NAND"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUF = "BUF"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+
+    @property
+    def arity(self):
+        """(min_fanins, max_fanins); ``None`` means unbounded."""
+        if self in (GateType.NOT, GateType.BUF):
+            return (1, 1)
+        if self in (GateType.CONST0, GateType.CONST1):
+            return (0, 0)
+        if self in (GateType.XOR, GateType.XNOR):
+            return (2, None)
+        return (1, None)
+
+    @property
+    def is_commutative(self):
+        return self not in (GateType.NOT, GateType.BUF)
+
+
+def eval_gate(gtype, values):
+    """Evaluate a gate over booleans (the single source of gate semantics)."""
+    if gtype is GateType.AND:
+        return all(values)
+    if gtype is GateType.OR:
+        return any(values)
+    if gtype is GateType.NAND:
+        return not all(values)
+    if gtype is GateType.NOR:
+        return not any(values)
+    if gtype is GateType.XOR:
+        return sum(values) % 2 == 1
+    if gtype is GateType.XNOR:
+        return sum(values) % 2 == 0
+    if gtype is GateType.NOT:
+        return not values[0]
+    if gtype is GateType.BUF:
+        return bool(values[0])
+    if gtype is GateType.CONST0:
+        return False
+    if gtype is GateType.CONST1:
+        return True
+    raise NetlistError("unknown gate type: {!r}".format(gtype))
+
+
+class Gate:
+    """A combinational gate; its output net carries the gate's name."""
+
+    __slots__ = ("name", "gtype", "fanins")
+
+    def __init__(self, name, gtype, fanins):
+        self.name = name
+        self.gtype = gtype
+        self.fanins = list(fanins)
+
+    def __repr__(self):
+        return "Gate({!r}, {}, {})".format(self.name, self.gtype.value, self.fanins)
+
+
+class Register:
+    """A D flip-flop with a known initial value (the paper requires one)."""
+
+    __slots__ = ("name", "data_in", "init")
+
+    def __init__(self, name, data_in, init=False):
+        self.name = name
+        self.data_in = data_in
+        self.init = bool(init)
+
+    def __repr__(self):
+        return "Register({!r}, data_in={!r}, init={})".format(
+            self.name, self.data_in, int(self.init)
+        )
+
+
+class Circuit:
+    """A sequential circuit: Mealy FSM with explicit gate-level structure."""
+
+    def __init__(self, name="circuit"):
+        self.name = name
+        self.inputs = []          # ordered primary input net names
+        self.outputs = []         # ordered primary output net names
+        self.gates = {}           # net name -> Gate
+        self.registers = {}       # net name -> Register
+        self._topo_cache = None
+
+    # -- construction ----------------------------------------------------
+
+    def add_input(self, name):
+        """Declare a primary input net; returns its name."""
+        self._check_fresh(name)
+        self.inputs.append(name)
+        self._topo_cache = None
+        return name
+
+    def add_output(self, net):
+        """Declare an existing (or later-defined) net as a primary output."""
+        self.outputs.append(net)
+        return net
+
+    def add_gate(self, name, gtype, fanins):
+        """Add a combinational gate whose output net is ``name``."""
+        self._check_fresh(name)
+        if not isinstance(gtype, GateType):
+            gtype = GateType(str(gtype).upper())
+        fanins = list(fanins)
+        lo, hi = gtype.arity
+        if len(fanins) < lo or (hi is not None and len(fanins) > hi):
+            raise NetlistError(
+                "gate {!r}: {} takes {}..{} fanins, got {}".format(
+                    name, gtype.value, lo, "inf" if hi is None else hi, len(fanins)
+                )
+            )
+        self.gates[name] = Gate(name, gtype, fanins)
+        self._topo_cache = None
+        return name
+
+    def add_register(self, name, data_in, init=False):
+        """Add a register; ``name`` is its output net, ``data_in`` its input."""
+        self._check_fresh(name)
+        self.registers[name] = Register(name, data_in, init)
+        self._topo_cache = None
+        return name
+
+    def set_register_input(self, name, data_in):
+        self.registers[name].data_in = data_in
+        self._topo_cache = None
+
+    def _check_fresh(self, name):
+        if name in self.gates or name in self.registers or name in self.inputs:
+            raise NetlistError("net {!r} is already defined".format(name))
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def num_gates(self):
+        return len(self.gates)
+
+    @property
+    def num_registers(self):
+        return len(self.registers)
+
+    def is_defined(self, net):
+        return net in self.gates or net in self.registers or net in self.inputs
+
+    def driver_kind(self, net):
+        """'input', 'gate' or 'register' for a defined net."""
+        if net in self.gates:
+            return "gate"
+        if net in self.registers:
+            return "register"
+        if net in self.inputs:
+            return "input"
+        raise NetlistError("undefined net: {!r}".format(net))
+
+    def signals(self):
+        """All net names: inputs, register outputs, then gates in topo order."""
+        return list(self.inputs) + list(self.registers) + self.topo_order()
+
+    def initial_state(self):
+        """``{register_net: bool}`` initial state s0."""
+        return {name: reg.init for name, reg in self.registers.items()}
+
+    def fanout_map(self):
+        """``{net: [consumer names]}`` over gates and registers."""
+        fanout = {net: [] for net in self.signals()}
+        for gate in self.gates.values():
+            for net in gate.fanins:
+                fanout[net].append(gate.name)
+        for reg in self.registers.values():
+            fanout[reg.data_in].append(reg.name)
+        return fanout
+
+    def topo_order(self):
+        """Gate names in topological order; raises on combinational cycles."""
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
+        order = []
+        state = {}  # name -> 1 (visiting) | 2 (done)
+        for root in self.gates:
+            if state.get(root):
+                continue
+            stack = [(root, iter(self.gates[root].fanins))]
+            state[root] = 1
+            while stack:
+                name, fanins = stack[-1]
+                advanced = False
+                for net in fanins:
+                    if net in self.gates:
+                        mark = state.get(net)
+                        if mark == 1:
+                            raise NetlistError(
+                                "combinational cycle through {!r}".format(net)
+                            )
+                        if mark is None:
+                            state[net] = 1
+                            stack.append((net, iter(self.gates[net].fanins)))
+                            advanced = True
+                            break
+                    elif not self.is_defined(net):
+                        raise NetlistError(
+                            "gate {!r} reads undefined net {!r}".format(name, net)
+                        )
+                if not advanced:
+                    stack.pop()
+                    state[name] = 2
+                    order.append(name)
+        self._topo_cache = order
+        return list(order)
+
+    def validate(self):
+        """Check structural well-formedness; returns self for chaining."""
+        self.topo_order()
+        for reg in self.registers.values():
+            if not self.is_defined(reg.data_in):
+                raise NetlistError(
+                    "register {!r} reads undefined net {!r}".format(
+                        reg.name, reg.data_in
+                    )
+                )
+        for net in self.outputs:
+            if not self.is_defined(net):
+                raise NetlistError("undefined output net: {!r}".format(net))
+        seen = set()
+        for net in self.inputs:
+            if net in seen:
+                raise NetlistError("duplicate input: {!r}".format(net))
+            seen.add(net)
+        return self
+
+    def stats(self):
+        """Summary dict used by the reporting code."""
+        return {
+            "name": self.name,
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "gates": self.num_gates,
+            "registers": self.num_registers,
+        }
+
+    # -- structure manipulation -------------------------------------------
+
+    def copy(self, name=None):
+        """Deep copy (gates and registers are duplicated)."""
+        dup = Circuit(name or self.name)
+        dup.inputs = list(self.inputs)
+        dup.outputs = list(self.outputs)
+        dup.gates = {
+            g.name: Gate(g.name, g.gtype, list(g.fanins)) for g in self.gates.values()
+        }
+        dup.registers = {
+            r.name: Register(r.name, r.data_in, r.init) for r in self.registers.values()
+        }
+        return dup
+
+    def renamed(self, prefix, keep_inputs=True, name=None):
+        """Copy with every net prefixed; optionally keep input names shared.
+
+        Keeping input names is what the product machine construction needs:
+        both circuits read the same primary inputs.
+        """
+        def rn(net):
+            if keep_inputs and net in input_set:
+                return net
+            return prefix + net
+
+        input_set = set(self.inputs)
+        dup = Circuit(name or (prefix + self.name))
+        dup.inputs = [rn(n) for n in self.inputs]
+        dup.outputs = [rn(n) for n in self.outputs]
+        dup.gates = {
+            rn(g.name): Gate(rn(g.name), g.gtype, [rn(f) for f in g.fanins])
+            for g in self.gates.values()
+        }
+        dup.registers = {
+            rn(r.name): Register(rn(r.name), rn(r.data_in), r.init)
+            for r in self.registers.values()
+        }
+        return dup
+
+    def remove_gate(self, name):
+        """Remove a gate (callers must have rewired its fanout first)."""
+        del self.gates[name]
+        self._topo_cache = None
+
+    def replace_fanin(self, old, new):
+        """Redirect every reader of net ``old`` to net ``new``."""
+        for gate in self.gates.values():
+            gate.fanins = [new if f == old else f for f in gate.fanins]
+        for reg in self.registers.values():
+            if reg.data_in == old:
+                reg.data_in = new
+        self.outputs = [new if o == old else o for o in self.outputs]
+        self._topo_cache = None
+
+    def fresh_name(self, stem):
+        """A net name not yet used, derived from ``stem``."""
+        if not self.is_defined(stem):
+            return stem
+        i = 0
+        while True:
+            candidate = "{}_{}".format(stem, i)
+            if not self.is_defined(candidate):
+                return candidate
+            i += 1
+
+    def __repr__(self):
+        return "Circuit({!r}: {} PI, {} PO, {} regs, {} gates)".format(
+            self.name,
+            len(self.inputs),
+            len(self.outputs),
+            self.num_registers,
+            self.num_gates,
+        )

@@ -1,0 +1,132 @@
+"""Structural cone analysis: supports, fanin cones, levels, variable orders."""
+
+from collections import deque
+
+
+def transitive_fanin(circuit, nets, stop_at_registers=True):
+    """All nets in the combinational fanin cone of ``nets``.
+
+    With ``stop_at_registers`` the cone stops at register outputs and primary
+    inputs (one time frame); otherwise it continues through register data
+    inputs (the sequential cone).
+    """
+    if isinstance(nets, str):
+        nets = [nets]
+    seen = set()
+    stack = list(nets)
+    while stack:
+        net = stack.pop()
+        if net in seen:
+            continue
+        seen.add(net)
+        if net in circuit.gates:
+            stack.extend(circuit.gates[net].fanins)
+        elif net in circuit.registers and not stop_at_registers:
+            stack.append(circuit.registers[net].data_in)
+    return seen
+
+
+def combinational_support(circuit, net):
+    """Primary inputs and register outputs the net combinationally depends on."""
+    cone = transitive_fanin(circuit, net)
+    sources = set(circuit.inputs) | set(circuit.registers)
+    return cone & sources
+
+
+def level_map(circuit):
+    """``{net: logic depth}``; sources are level 0."""
+    levels = {net: 0 for net in circuit.inputs}
+    levels.update({net: 0 for net in circuit.registers})
+    for name in circuit.topo_order():
+        gate = circuit.gates[name]
+        levels[name] = 1 + max((levels[f] for f in gate.fanins), default=0)
+    return levels
+
+
+def static_variable_order(circuit, extra_first=()):
+    """A good static BDD variable order over inputs and register outputs.
+
+    Depth-first traversal from the outputs (then register data inputs), which
+    places related state variables and inputs next to each other — the usual
+    topology-driven initial order.  ``extra_first`` pins given nets to the
+    front.  Returns a list of input/register net names.
+    """
+    sources = list(circuit.inputs) + list(circuit.registers)
+    source_set = set(sources)
+    order = []
+    placed = set()
+    for net in extra_first:
+        if net in source_set and net not in placed:
+            order.append(net)
+            placed.add(net)
+    roots = list(circuit.outputs) + [
+        reg.data_in for reg in circuit.registers.values()
+    ]
+    visited = set()
+    for root in roots:
+        stack = [root]
+        while stack:
+            net = stack.pop()
+            if net in visited:
+                continue
+            visited.add(net)
+            if net in source_set:
+                if net not in placed:
+                    order.append(net)
+                    placed.add(net)
+                continue
+            if net in circuit.gates:
+                # Reversed so the first fanin is explored first.
+                stack.extend(reversed(circuit.gates[net].fanins))
+    for net in sources:
+        if net not in placed:
+            order.append(net)
+            placed.add(net)
+    return order
+
+
+def output_cone_sizes(circuit):
+    """``{output: cone size}`` — a cheap complexity indicator for reports."""
+    return {
+        net: len(transitive_fanin(circuit, net)) for net in circuit.outputs
+    }
+
+
+def register_dependency_graph(circuit):
+    """``{register: set(registers feeding its next-state function)}``."""
+    graph = {}
+    for reg in circuit.registers.values():
+        support = combinational_support(circuit, reg.data_in)
+        graph[reg.name] = {net for net in support if net in circuit.registers}
+    return graph
+
+
+def register_blocks(circuit, max_block=8):
+    """Partition registers into blocks of connected next-state dependencies.
+
+    Greedy BFS clustering over :func:`register_dependency_graph`, used by the
+    approximate-traversal substrate (machine-by-machine traversal, Cho et al.).
+    """
+    graph = register_dependency_graph(circuit)
+    undirected = {name: set() for name in graph}
+    for name, deps in graph.items():
+        for dep in deps:
+            undirected[name].add(dep)
+            undirected[dep].add(name)
+    blocks = []
+    unassigned = set(graph)
+    for seed in sorted(graph):
+        if seed not in unassigned:
+            continue
+        block = [seed]
+        unassigned.discard(seed)
+        frontier = deque([seed])
+        while frontier and len(block) < max_block:
+            current = frontier.popleft()
+            for neighbor in sorted(undirected[current]):
+                if neighbor in unassigned and len(block) < max_block:
+                    unassigned.discard(neighbor)
+                    block.append(neighbor)
+                    frontier.append(neighbor)
+        blocks.append(block)
+    return blocks

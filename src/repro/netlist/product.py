@@ -1,0 +1,136 @@
+"""Product machine construction.
+
+The product machine combines specification and implementation over *shared*
+primary inputs; its state space is the Cartesian product of both register
+files and its output function is 1 iff all pairwise corresponding outputs
+agree (the paper's §3 model).  Output pairs are kept as data rather than
+being materialized as miter gates, so the signal set F of the correspondence
+engine contains exactly the signals of the two circuits.
+"""
+
+from .circuit import Circuit, Gate, Register
+from ..errors import VerificationError
+
+SPEC_PREFIX = "s."
+IMPL_PREFIX = "i."
+
+
+class ProductMachine:
+    """The combined circuit plus bookkeeping about signal origins."""
+
+    def __init__(self, circuit, output_pairs, spec_nets, impl_nets, spec, impl):
+        self.circuit = circuit
+        self.output_pairs = output_pairs  # [(spec_out_net, impl_out_net)]
+        self.spec_nets = spec_nets        # product nets originating in spec
+        self.impl_nets = impl_nets        # product nets originating in impl
+        self.spec = spec
+        self.impl = impl
+
+    @property
+    def registers(self):
+        return self.circuit.registers
+
+    @property
+    def inputs(self):
+        return self.circuit.inputs
+
+    def origin(self, net):
+        """'spec', 'impl' or 'input' for a product net."""
+        if net in self.circuit.inputs:
+            return "input"
+        if net in self.spec_nets:
+            return "spec"
+        if net in self.impl_nets:
+            return "impl"
+        raise VerificationError("net {!r} is not part of the product".format(net))
+
+    def __repr__(self):
+        return "ProductMachine({} PI, {} pairs, {} regs, {} gates)".format(
+            len(self.circuit.inputs),
+            len(self.output_pairs),
+            self.circuit.num_registers,
+            self.circuit.num_gates,
+        )
+
+
+def build_product(spec, impl, match_inputs="name", match_outputs="name"):
+    """Combine two circuits into a :class:`ProductMachine`.
+
+    ``match_inputs``/``match_outputs`` are ``"name"`` (nets matched by name;
+    both interfaces must coincide as sets) or ``"order"`` (positional).
+    """
+    spec.validate()
+    impl.validate()
+    if len(spec.inputs) != len(impl.inputs):
+        raise VerificationError(
+            "input count mismatch: {} vs {}".format(
+                len(spec.inputs), len(impl.inputs)
+            )
+        )
+    if len(spec.outputs) != len(impl.outputs):
+        raise VerificationError(
+            "output count mismatch: {} vs {}".format(
+                len(spec.outputs), len(impl.outputs)
+            )
+        )
+    if match_inputs == "name":
+        if set(spec.inputs) != set(impl.inputs):
+            raise VerificationError(
+                "input names differ; use match_inputs='order'"
+            )
+        impl_in_map = {net: net for net in impl.inputs}
+    elif match_inputs == "order":
+        impl_in_map = dict(zip(impl.inputs, spec.inputs))
+    else:
+        raise VerificationError("match_inputs must be 'name' or 'order'")
+
+    product = Circuit("product({},{})".format(spec.name, impl.name))
+    for net in spec.inputs:
+        product.add_input(net)
+
+    spec_map = _embed(product, spec, SPEC_PREFIX, {n: n for n in spec.inputs})
+    impl_map = _embed(product, impl, IMPL_PREFIX, impl_in_map)
+
+    if match_outputs == "name":
+        if set(spec.outputs) != set(impl.outputs):
+            raise VerificationError(
+                "output names differ; use match_outputs='order'"
+            )
+        pairs = [
+            (spec_map[name], impl_map[name]) for name in spec.outputs
+        ]
+    elif match_outputs == "order":
+        pairs = [
+            (spec_map[s], impl_map[m])
+            for s, m in zip(spec.outputs, impl.outputs)
+        ]
+    else:
+        raise VerificationError("match_outputs must be 'name' or 'order'")
+
+    for s_net, i_net in pairs:
+        product.add_output(s_net)
+        product.add_output(i_net)
+    product.validate()
+    spec_nets = set(spec_map.values())
+    impl_nets = set(impl_map.values())
+    return ProductMachine(product, pairs, spec_nets, impl_nets, spec, impl)
+
+
+def _embed(product, circuit, prefix, input_map):
+    """Copy ``circuit`` into ``product`` with renamed nets; returns net map."""
+    mapping = dict(input_map)
+    for reg in circuit.registers.values():
+        new_name = prefix + reg.name
+        mapping[reg.name] = new_name
+    for name in circuit.topo_order():
+        mapping[name] = prefix + name
+    for reg in circuit.registers.values():
+        product.add_register(
+            mapping[reg.name], mapping[reg.data_in], reg.init
+        )
+    for name in circuit.topo_order():
+        gate = circuit.gates[name]
+        product.add_gate(
+            mapping[name], gate.gtype, [mapping[f] for f in gate.fanins]
+        )
+    return mapping

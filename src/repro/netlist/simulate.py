@@ -1,0 +1,223 @@
+"""Bit-parallel and three-valued simulation of sequential circuits.
+
+Bit-parallel simulation packs ``width`` independent patterns into Python
+integers (one bit per pattern), which is how the paper's implementation uses
+"sequential simulation of the product machine with random input vectors" to
+pre-partition the candidate equivalence classes cheaply.
+
+Three-valued (0/1/X) simulation is provided for initialization analysis; a
+value is a pair ``(ones, zeros)`` of bit masks — a bit set in neither mask is
+unknown.
+"""
+
+import random
+
+from .circuit import GateType
+from ..errors import NetlistError
+
+
+def _mask(width):
+    return (1 << width) - 1
+
+
+def bit_parallel_eval(circuit, env, width):
+    """Evaluate all nets for one time frame.
+
+    ``env`` maps every primary input and register-output net to an integer of
+    ``width`` pattern bits.  Returns ``{net: int}`` covering every net.
+    """
+    values = {}
+    full = _mask(width)
+    for net in circuit.inputs:
+        values[net] = env[net] & full
+    for net in circuit.registers:
+        values[net] = env[net] & full
+    for name in circuit.topo_order():
+        gate = circuit.gates[name]
+        values[name] = _eval_words(gate.gtype, [values[f] for f in gate.fanins], full)
+    return values
+
+
+def _eval_words(gtype, words, full):
+    if gtype is GateType.AND or gtype is GateType.NAND:
+        acc = full
+        for w in words:
+            acc &= w
+        return acc if gtype is GateType.AND else acc ^ full
+    if gtype is GateType.OR or gtype is GateType.NOR:
+        acc = 0
+        for w in words:
+            acc |= w
+        return acc if gtype is GateType.OR else acc ^ full
+    if gtype is GateType.XOR or gtype is GateType.XNOR:
+        acc = 0
+        for w in words:
+            acc ^= w
+        return acc if gtype is GateType.XOR else acc ^ full
+    if gtype is GateType.NOT:
+        return words[0] ^ full
+    if gtype is GateType.BUF:
+        return words[0]
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return full
+    raise NetlistError("unknown gate type: {!r}".format(gtype))
+
+
+def single_eval(circuit, input_values, state_values):
+    """Single-pattern convenience wrapper; booleans in, booleans out."""
+    env = {net: int(bool(v)) for net, v in input_values.items()}
+    env.update({net: int(bool(v)) for net, v in state_values.items()})
+    words = bit_parallel_eval(circuit, env, 1)
+    return {net: bool(v) for net, v in words.items()}
+
+
+def next_state(circuit, values):
+    """Next-state masks from the full net valuation of one frame."""
+    return {name: values[reg.data_in] for name, reg in circuit.registers.items()}
+
+
+class SequentialSimulator:
+    """Runs a circuit from its initial state with random input patterns.
+
+    All ``width`` parallel patterns start in the circuit's initial state and
+    evolve independently under per-frame random inputs.  Per-net *signatures*
+    (the concatenation of all frame masks) distinguish any two signals that
+    differ in some simulated reachable state — a sound pre-filter for the
+    signal correspondence partition (§4 of the paper).
+    """
+
+    def __init__(self, circuit, width=64, seed=2024):
+        circuit.validate()
+        self.circuit = circuit
+        self.width = width
+        self.rng = random.Random(seed)
+        full = _mask(width)
+        init = circuit.initial_state()
+        self.state = {net: (full if init[net] else 0) for net in circuit.registers}
+        self.signatures = {net: 0 for net in circuit.signals()}
+        self.frames_run = 0
+        self.first_frame_inputs = None
+
+    def step(self):
+        """Advance one frame; returns the frame's full valuation."""
+        env = {
+            net: self.rng.getrandbits(self.width) for net in self.circuit.inputs
+        }
+        if self.first_frame_inputs is None:
+            self.first_frame_inputs = dict(env)
+        env.update(self.state)
+        values = bit_parallel_eval(self.circuit, env, self.width)
+        for net, word in values.items():
+            self.signatures[net] = (self.signatures[net] << self.width) | word
+        self.state = next_state(self.circuit, values)
+        self.frames_run += 1
+        return values
+
+    def run(self, frames):
+        """Run ``frames`` frames; returns the signature map."""
+        for _ in range(frames):
+            self.step()
+        return dict(self.signatures)
+
+    def signature_bits(self):
+        """Total number of signature bits accumulated so far."""
+        return self.frames_run * self.width
+
+
+# ----------------------------------------------------------------------
+# Three-valued simulation
+# ----------------------------------------------------------------------
+
+X = (0, 0)
+
+
+def tv_const(value, width=1):
+    """Ternary constant: True/False/None → (ones, zeros)."""
+    full = _mask(width)
+    if value is None:
+        return (0, 0)
+    return (full, 0) if value else (0, full)
+
+
+def ternary_eval(circuit, env, width=1):
+    """Three-valued evaluation of one frame.
+
+    ``env`` maps inputs and register outputs to ``(ones, zeros)`` pairs.
+    Returns the same encoding for every net.
+    """
+    values = {}
+    for net in list(circuit.inputs) + list(circuit.registers):
+        values[net] = env.get(net, X)
+    full = _mask(width)
+    for name in circuit.topo_order():
+        gate = circuit.gates[name]
+        operands = [values[f] for f in gate.fanins]
+        values[name] = _ternary_gate(gate.gtype, operands, full)
+    return values
+
+
+def _ternary_gate(gtype, operands, full):
+    if gtype in (GateType.AND, GateType.NAND):
+        ones, zeros = full, 0
+        for o, z in operands:
+            ones &= o
+            zeros |= z
+        if gtype is GateType.NAND:
+            ones, zeros = zeros, ones
+        return ones, zeros
+    if gtype in (GateType.OR, GateType.NOR):
+        ones, zeros = 0, full
+        for o, z in operands:
+            ones |= o
+            zeros &= z
+        if gtype is GateType.NOR:
+            ones, zeros = zeros, ones
+        return ones, zeros
+    if gtype in (GateType.XOR, GateType.XNOR):
+        ones, zeros = operands[0]
+        for o, z in operands[1:]:
+            ones, zeros = (ones & z) | (zeros & o), (ones & o) | (zeros & z)
+        if gtype is GateType.XNOR:
+            ones, zeros = zeros, ones
+        return ones, zeros
+    if gtype is GateType.NOT:
+        ones, zeros = operands[0]
+        return zeros, ones
+    if gtype is GateType.BUF:
+        return operands[0]
+    if gtype is GateType.CONST0:
+        return 0, full
+    if gtype is GateType.CONST1:
+        return full, 0
+    raise NetlistError("unknown gate type: {!r}".format(gtype))
+
+
+def x_initialized_fixpoint(circuit, max_frames=64):
+    """Three-valued reachability of register values from the all-X state.
+
+    Repeatedly simulates with X inputs until register knowledge stabilizes.
+    Registers that settle to a known constant regardless of inputs are
+    self-initializing; the rest stay X.  Returns ``{register: True/False/None}``.
+    """
+    state = {net: X for net in circuit.registers}
+    for _ in range(max_frames):
+        env = {net: X for net in circuit.inputs}
+        env.update(state)
+        values = ternary_eval(circuit, env)
+        new_state = {
+            name: values[reg.data_in] for name, reg in circuit.registers.items()
+        }
+        if new_state == state:
+            break
+        state = new_state
+    result = {}
+    for net, (ones, zeros) in state.items():
+        if ones and not zeros:
+            result[net] = True
+        elif zeros and not ones:
+            result[net] = False
+        else:
+            result[net] = None
+    return result

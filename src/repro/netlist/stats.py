@@ -1,0 +1,125 @@
+"""Circuit statistics and structural analysis.
+
+Provides the numbers the experiment reports cite (gate histograms, logic
+depth, fanout distribution) and graph-theoretic structure built on
+networkx: the register dependency digraph, its strongly connected
+components (sequential feedback clusters), and a greedy feedback register
+set — the registers whose removal makes the machine acyclic, a classic
+difficulty indicator for sequential verification.
+"""
+
+from collections import Counter
+
+import networkx as nx
+
+from .circuit import GateType
+from .cones import combinational_support, level_map
+
+
+def gate_histogram(circuit):
+    """``{gate_type_name: count}``."""
+    counter = Counter(gate.gtype.value for gate in circuit.gates.values())
+    return dict(counter)
+
+
+def logic_depth(circuit):
+    """Maximum combinational depth over all nets."""
+    levels = level_map(circuit)
+    return max(levels.values(), default=0)
+
+
+def fanout_histogram(circuit):
+    """``{fanout_count: how many nets have it}`` (driven nets only)."""
+    fanout = circuit.fanout_map()
+    counter = Counter(len(readers) for readers in fanout.values())
+    return dict(counter)
+
+
+def circuit_report(circuit):
+    """One-stop summary dict for a circuit."""
+    return {
+        "name": circuit.name,
+        "inputs": len(circuit.inputs),
+        "outputs": len(circuit.outputs),
+        "registers": circuit.num_registers,
+        "gates": circuit.num_gates,
+        "depth": logic_depth(circuit),
+        "gate_histogram": gate_histogram(circuit),
+        "sequential_sccs": len(register_sccs(circuit)),
+        "feedback_registers": len(feedback_register_set(circuit)),
+    }
+
+
+def register_digraph(circuit):
+    """networkx DiGraph: edge r -> q when q's next state reads r."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(circuit.registers)
+    for reg in circuit.registers.values():
+        support = combinational_support(circuit, reg.data_in)
+        for source in support:
+            if source in circuit.registers:
+                graph.add_edge(source, reg.name)
+    return graph
+
+
+def register_sccs(circuit):
+    """Strongly connected components of the register dependency digraph,
+    largest first.  Each SCC is a set of registers forming sequential
+    feedback; singleton SCCs without self-loops are pipeline stages."""
+    graph = register_digraph(circuit)
+    sccs = [set(scc) for scc in nx.strongly_connected_components(graph)]
+    sccs.sort(key=len, reverse=True)
+    return sccs
+
+
+def feedback_register_set(circuit):
+    """A (greedy, not minimum) set of registers whose removal breaks every
+    sequential cycle.  Empty for pipelines; large for counters and FSMs."""
+    graph = register_digraph(circuit)
+    feedback = set()
+    working = graph.copy()
+    # Remove self-loops first: each is a forced feedback register.
+    for node in list(nx.nodes_with_selfloops(working)):
+        feedback.add(node)
+        working.remove_node(node)
+    while True:
+        try:
+            cycle = nx.find_cycle(working)
+        except nx.NetworkXNoCycle:
+            break
+        # Drop the highest-degree node on the cycle.
+        candidates = {edge[0] for edge in cycle}
+        victim = max(
+            candidates,
+            key=lambda n: working.in_degree(n) + working.out_degree(n),
+        )
+        feedback.add(victim)
+        working.remove_node(victim)
+    return feedback
+
+
+def is_pipeline(circuit):
+    """True when the circuit has no sequential feedback at all."""
+    return not feedback_register_set(circuit)
+
+
+def structural_similarity(spec, impl):
+    """A cheap similarity indicator between two circuits: Jaccard overlap
+    of their gate-type histograms and depth/size ratios.  Used in reports
+    to show how much the synthesis pipeline restructured the netlist."""
+    h1 = gate_histogram(spec)
+    h2 = gate_histogram(impl)
+    keys = set(h1) | set(h2)
+    inter = sum(min(h1.get(k, 0), h2.get(k, 0)) for k in keys)
+    union = sum(max(h1.get(k, 0), h2.get(k, 0)) for k in keys)
+    return {
+        "gate_histogram_jaccard": inter / union if union else 1.0,
+        "size_ratio": (impl.num_gates / spec.num_gates
+                       if spec.num_gates else float("inf")),
+        "depth_ratio": (logic_depth(impl) / logic_depth(spec)
+                        if logic_depth(spec) else float("inf")),
+        "shared_net_names": len(
+            (set(spec.gates) | set(spec.registers))
+            & (set(impl.gates) | set(impl.registers))
+        ),
+    }

@@ -1,0 +1,63 @@
+"""Time-frame expansion: unroll a sequential circuit into a combinational one.
+
+Frame ``t``'s register outputs are driven by frame ``t-1``'s data inputs;
+frame 0 registers are constants (the initial state) or fresh inputs (free
+initial state).  Net names are suffixed ``@t``.  Used by the BMC engine and
+useful on its own for exporting unrolled problems.
+"""
+
+from ..errors import NetlistError
+from .circuit import Circuit, GateType
+
+
+def unroll(circuit, frames, initial="state", name=None):
+    """Unroll ``circuit`` over ``frames`` time frames.
+
+    ``initial`` is ``"state"`` (frame-0 registers fixed to the initial
+    values) or ``"free"`` (frame-0 registers become primary inputs).
+    Returns ``(unrolled_circuit, net_at)`` where ``net_at(net, t)`` gives
+    the unrolled name of ``net`` in frame ``t``.  Outputs of every frame
+    are exported in frame order.
+    """
+    circuit.validate()
+    if frames < 1:
+        raise NetlistError("need at least one frame")
+    if initial not in ("state", "free"):
+        raise NetlistError("initial must be 'state' or 'free'")
+    result = Circuit(name or "{}_x{}".format(circuit.name, frames))
+
+    def net_at(net, t):
+        return "{}@{}".format(net, t)
+
+    for t in range(frames):
+        for net in circuit.inputs:
+            result.add_input(net_at(net, t))
+    for net, reg in circuit.registers.items():
+        if initial == "state":
+            result.add_gate(
+                net_at(net, 0),
+                GateType.CONST1 if reg.init else GateType.CONST0,
+                [],
+            )
+        else:
+            result.add_input(net_at(net, 0))
+    for t in range(frames):
+        for gname in circuit.topo_order():
+            gate = circuit.gates[gname]
+            result.add_gate(
+                net_at(gname, t),
+                gate.gtype,
+                [net_at(f, t) for f in gate.fanins],
+            )
+        if t + 1 < frames:
+            for net, reg in circuit.registers.items():
+                result.add_gate(
+                    net_at(net, t + 1),
+                    GateType.BUF,
+                    [net_at(reg.data_in, t)],
+                )
+    for t in range(frames):
+        for net in circuit.outputs:
+            result.add_output(net_at(net, t))
+    result.validate()
+    return result, net_at

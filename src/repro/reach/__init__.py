@@ -1,0 +1,30 @@
+"""Symbolic and explicit reachability: the traversal baseline and oracles."""
+
+from .result import CexTrace, SecResult
+from .transition import TransitionSystem
+from .traversal import check_equivalence_traversal, symbolic_reachability
+from .fundep import (
+    functional_dependencies,
+    reduce_by_register_correspondence,
+    register_correspondence,
+)
+from .approx import approximate_reachable
+from .explicit import explicit_check_equivalence, explicit_reachable
+from .depth import depth_report, sequential_depth_explicit, sequential_depth_symbolic
+
+__all__ = [
+    "CexTrace",
+    "SecResult",
+    "TransitionSystem",
+    "approximate_reachable",
+    "depth_report",
+    "sequential_depth_explicit",
+    "sequential_depth_symbolic",
+    "check_equivalence_traversal",
+    "explicit_check_equivalence",
+    "explicit_reachable",
+    "functional_dependencies",
+    "reduce_by_register_correspondence",
+    "register_correspondence",
+    "symbolic_reachability",
+]

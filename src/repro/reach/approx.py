@@ -1,0 +1,71 @@
+"""Approximate reachability (machine-by-machine traversal, Cho et al. [4]).
+
+Registers are partitioned into blocks; each block is traversed as its own
+sub-machine with all other state variables and inputs treated as free.  The
+conjunction of the per-block reached sets is an *upper bound* of the exact
+reachable state space — exactly the kind of approximation §3 of the paper
+suggests for strengthening the correspondence condition with sequential
+don't cares.
+"""
+
+from ..errors import ReproError
+from ..netlist.cones import register_blocks
+
+
+def approximate_reachable(ts, max_block=6, passes=1, max_iterations=1000):
+    """Over-approximate the reachable states of a transition system.
+
+    Returns a BDD over the system's current-state variables.  ``passes > 1``
+    re-runs the per-block traversals constraining the environment with the
+    previous approximation (a cheap refinement).
+    """
+    mgr = ts.manager
+    blocks = register_blocks(ts.circuit, max_block=max_block)
+    approx = mgr.true
+    approx_token = mgr.register_root(approx)
+    quantifiable = ts.state_var_ids() | ts.input_var_ids()
+    try:
+        for _ in range(max(1, passes)):
+            per_block = []
+            for block in blocks:
+                per_block.append(
+                    _block_reachable(ts, block, approx, quantifiable,
+                                     max_iterations)
+                )
+            approx = mgr.and_many(per_block)
+            mgr.update_root(approx_token, approx)
+        return approx
+    finally:
+        mgr.release_root(approx_token)
+
+
+def _block_reachable(ts, block, environment, quantifiable, max_iterations):
+    mgr = ts.manager
+    relation = mgr.and_many(
+        mgr.apply_xnor(mgr.var_edge(ts.nxt_id[name]), ts.delta[name])
+        for name in block
+    )
+    rel_token = mgr.register_root(relation)
+    rename = {ts.nxt_id[name]: ts.cur_id[name] for name in block}
+    init_cube = mgr.cube(
+        {ts.cur_id[name]: ts.circuit.registers[name].init for name in block}
+    )
+    reached = init_cube
+    frontier = init_cube
+    reached_token = mgr.register_root(reached)
+    try:
+        for _ in range(max_iterations):
+            if frontier == mgr.false:
+                break
+            constrained = mgr.apply_and(frontier, environment)
+            image = mgr.and_exists(constrained, relation, quantifiable)
+            image = mgr.rename_vars(image, rename)
+            frontier = mgr.apply_and(image, mgr.apply_not(reached))
+            reached = mgr.apply_or(reached, image)
+            mgr.update_root(reached_token, reached)
+        else:
+            raise ReproError("block traversal did not converge")
+        return reached
+    finally:
+        mgr.release_root(reached_token)
+        mgr.release_root(rel_token)

@@ -1,0 +1,66 @@
+"""Sequential depth analysis.
+
+The sequential depth (the BFS diameter of the reachable state graph) is
+what makes traversal-based SEC intractable on the fraction-counter family
+(s208/s420/s838): each BFS step discovers one new state, so the iteration
+count equals the depth.  These helpers measure it — exactly for small
+circuits, symbolically up to a budget otherwise — and are used by the
+experiment reports.
+"""
+
+from ..errors import ResourceBudgetExceeded
+from .transition import TransitionSystem
+from .explicit import explicit_reachable
+
+
+def sequential_depth_explicit(circuit, max_states=1 << 16, max_inputs=12):
+    """Exact sequential depth by explicit BFS (small circuits)."""
+    _, depth = explicit_reachable(circuit, max_states=max_states,
+                                  max_inputs=max_inputs)
+    return depth
+
+
+def sequential_depth_symbolic(circuit, max_iterations=10000,
+                              node_limit=None):
+    """Sequential depth by symbolic BFS; returns (depth, exact_flag).
+
+    When the iteration budget is exhausted the returned depth is a lower
+    bound and ``exact_flag`` is False.
+    """
+    ts = TransitionSystem(circuit, node_limit=node_limit)
+    mgr = ts.manager
+    reached = ts.initial_states()
+    frontier = reached
+    reached_token = mgr.register_root(reached)
+    frontier_token = mgr.register_root(frontier)
+    depth = 0
+    try:
+        while frontier != mgr.false:
+            if depth >= max_iterations:
+                return depth, False
+            image = ts.image(frontier)
+            frontier = mgr.apply_and(image, mgr.apply_not(reached))
+            reached = mgr.apply_or(reached, image)
+            mgr.update_root(reached_token, reached)
+            mgr.update_root(frontier_token, frontier)
+            if frontier != mgr.false:
+                depth += 1
+        return depth, True
+    finally:
+        mgr.release_root(reached_token)
+        mgr.release_root(frontier_token)
+
+
+def depth_report(circuit, symbolic_budget=2000):
+    """Dict report: registers, depth (exact or bound), reachable count."""
+    result = {"registers": circuit.num_registers}
+    try:
+        depth, exact = sequential_depth_symbolic(
+            circuit, max_iterations=symbolic_budget
+        )
+        result["depth"] = depth
+        result["depth_exact"] = exact
+    except ResourceBudgetExceeded:
+        result["depth"] = None
+        result["depth_exact"] = False
+    return result

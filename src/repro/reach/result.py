@@ -1,0 +1,71 @@
+"""Result records shared by both SEC methods (traversal and van Eijk)."""
+
+
+class CexTrace:
+    """An input sequence demonstrating inequivalence.
+
+    ``inputs`` drives the product machine from the initial state to the
+    distinguishing state; ``final_input`` is the input vector under which
+    some output pair differs there.  ``state`` records the product state (for
+    diagnostics; it is implied by the inputs).
+    """
+
+    def __init__(self, inputs, final_input, state=None):
+        self.inputs = list(inputs)
+        self.final_input = dict(final_input)
+        self.state = dict(state or {})
+
+    @property
+    def length(self):
+        return len(self.inputs) + 1
+
+    def full_sequence(self):
+        """Input vectors frame by frame, including the distinguishing frame."""
+        return self.inputs + [self.final_input]
+
+    def __repr__(self):
+        return "CexTrace(length={})".format(self.length)
+
+
+class SecResult:
+    """Outcome of one sequential equivalence check.
+
+    ``equivalent`` is True (proved), False (refuted, with counterexample) or
+    None — the method gave up: resource budget for traversal, or
+    *inconclusive* for the (sound but incomplete) signal-correspondence
+    method.
+    """
+
+    def __init__(self, equivalent, method, iterations=None, peak_nodes=None,
+                 seconds=None, counterexample=None, details=None):
+        self.equivalent = equivalent
+        self.method = method
+        self.iterations = iterations
+        self.peak_nodes = peak_nodes
+        self.seconds = seconds
+        self.counterexample = counterexample
+        self.details = details or {}
+
+    @property
+    def proved(self):
+        return self.equivalent is True
+
+    @property
+    def refuted(self):
+        return self.equivalent is False
+
+    @property
+    def inconclusive(self):
+        return self.equivalent is None
+
+    def __repr__(self):
+        verdict = {True: "EQUIVALENT", False: "INEQUIVALENT", None: "UNDECIDED"}[
+            self.equivalent
+        ]
+        return "SecResult({}, method={}, its={}, nodes={}, {:.3f}s)".format(
+            verdict,
+            self.method,
+            self.iterations,
+            self.peak_nodes,
+            self.seconds if self.seconds is not None else float("nan"),
+        )

@@ -1,0 +1,140 @@
+"""Symbolic transition system: BDD variables, next-state functions, and a
+partitioned transition relation with early quantification.
+
+Variable order: the netlist's static order over inputs and registers, with
+each register's next-state variable placed directly after its current-state
+variable — the standard interleaving for image computation.
+"""
+
+from ..bdd import BddManager
+from ..netlist.bddnet import build_bdds
+from ..netlist.cones import static_variable_order
+
+
+class TransitionSystem:
+    """BDD-level view of a sequential circuit.
+
+    Exposes per-net BDDs over (state, input) variables, the initial-state
+    cube, clustered transition relations, and forward image computation.
+    """
+
+    def __init__(self, circuit, manager=None, node_limit=None, cluster_size=4):
+        circuit.validate()
+        self.circuit = circuit
+        self.manager = manager if manager is not None else BddManager(node_limit)
+        mgr = self.manager
+        self.cur_id = {}
+        self.nxt_id = {}
+        self.in_id = {}
+        leaves = {}
+        for net in static_variable_order(circuit):
+            if net in circuit.registers:
+                cur = mgr.add_var("s.{}".format(net))
+                nxt = mgr.add_var("ns.{}".format(net))
+                self.cur_id[net] = mgr.var_of(cur)
+                self.nxt_id[net] = mgr.var_of(nxt)
+                leaves[net] = cur
+            else:
+                edge = mgr.add_var("x.{}".format(net))
+                self.in_id[net] = mgr.var_of(edge)
+                leaves[net] = edge
+        self.leaves = leaves
+        # All net functions over (current state, inputs).
+        self.values = build_bdds(circuit, mgr, leaves)
+        self.delta = {
+            name: self.values[reg.data_in]
+            for name, reg in circuit.registers.items()
+        }
+        self._build_clusters(cluster_size)
+        self._nxt_to_cur = {
+            self.nxt_id[net]: self.cur_id[net] for net in self.cur_id
+        }
+        for edge in list(self.delta.values()):
+            mgr.register_root(edge)
+
+    # -- basic objects ----------------------------------------------------
+
+    def initial_states(self):
+        """Cube BDD of the single initial state s0 (over current vars)."""
+        return self.manager.cube(
+            {
+                self.cur_id[name]: reg.init
+                for name, reg in self.circuit.registers.items()
+            }
+        )
+
+    def state_var_ids(self):
+        return set(self.cur_id.values())
+
+    def input_var_ids(self):
+        return set(self.in_id.values())
+
+    def net_bdd(self, net):
+        """BDD of any net over (state, input) variables."""
+        return self.values[net]
+
+    # -- transition relation ------------------------------------------------
+
+    def _build_clusters(self, cluster_size):
+        mgr = self.manager
+        relations = []
+        for name in self.circuit.registers:
+            nxt = mgr.var_edge(self.nxt_id[name])
+            relations.append(mgr.apply_xnor(nxt, self.delta[name]))
+        clusters = []
+        for i in range(0, len(relations), max(1, cluster_size)):
+            chunk = relations[i:i + cluster_size]
+            clusters.append(mgr.and_many(chunk))
+        self.clusters = clusters
+        for edge in clusters:
+            mgr.register_root(edge)
+        # Early-quantification schedule: a (state or input) variable is
+        # quantified at the last cluster whose support mentions it.
+        quantifiable = self.state_var_ids() | self.input_var_ids()
+        last_seen = {}
+        for idx, cluster in enumerate(clusters):
+            for var in mgr.support(cluster) & quantifiable:
+                last_seen[var] = idx
+        self.schedule = [set() for _ in clusters]
+        for var, idx in last_seen.items():
+            self.schedule[idx].add(var)
+        self.unconstrained = quantifiable - set(last_seen)
+
+    def image(self, states):
+        """Forward image: states reachable in one step from ``states``.
+
+        Input and output are BDDs over current-state variables.
+        """
+        mgr = self.manager
+        current = states
+        if self.unconstrained:
+            current = mgr.exists(current, self.unconstrained)
+        for cluster, qvars in zip(self.clusters, self.schedule):
+            current = mgr.and_exists(current, cluster, qvars)
+        return mgr.rename_vars(current, self._nxt_to_cur)
+
+    def successor_constraint(self, target_assignment):
+        """BDD over (s, x) of transitions into the given concrete next state.
+
+        ``target_assignment`` maps register names to booleans; used for
+        counterexample trace reconstruction.
+        """
+        mgr = self.manager
+        literals = []
+        for name, value in target_assignment.items():
+            delta = self.delta[name]
+            literals.append(delta if value else mgr.apply_not(delta))
+        return mgr.and_many(literals)
+
+    def state_assignment_from_model(self, model):
+        """Extract ``{register: bool}`` from a BDD model over current vars."""
+        return {
+            name: model.get(var, False)
+            for name, var in self.cur_id.items()
+        }
+
+    def input_assignment_from_model(self, model):
+        return {
+            name: model.get(var, False)
+            for name, var in self.in_id.items()
+        }

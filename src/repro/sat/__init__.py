@@ -1,0 +1,9 @@
+"""A self-contained CDCL SAT solver with circuit (Tseitin) encoding."""
+
+from .cnf import Cnf
+from .solver import Solver, luby
+from .tseitin import TseitinEncoder, encode_miter
+from .simplify import SimplifyResult, simplify
+
+__all__ = ["Cnf", "SimplifyResult", "Solver", "TseitinEncoder",
+           "encode_miter", "luby", "simplify"]

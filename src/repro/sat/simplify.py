@@ -1,0 +1,147 @@
+"""CNF preprocessing: unit propagation, pure literals, subsumption.
+
+A light inprocessing front end for the CDCL solver — useful on the Tseitin
+encodings the equivalence engines generate, which contain many unit-forced
+and pure auxiliary variables.
+"""
+
+from ..errors import SatError
+from .cnf import Cnf
+
+
+class SimplifyResult:
+    """Outcome of CNF simplification.
+
+    ``cnf`` is the reduced formula (same variable numbering); ``assignment``
+    records literals fixed by unit propagation / pure-literal elimination;
+    ``unsat`` is True when a contradiction surfaced.
+    """
+
+    def __init__(self, cnf, assignment, unsat, stats):
+        self.cnf = cnf
+        self.assignment = assignment
+        self.unsat = unsat
+        self.stats = stats
+
+
+def simplify(cnf, rounds=10):
+    """Simplify a :class:`Cnf`; returns a :class:`SimplifyResult`."""
+    clauses = [list(c) for c in cnf.clauses]
+    assignment = {}  # var -> bool
+    stats = {"units": 0, "pures": 0, "subsumed": 0, "strengthened": 0}
+
+    def value(lit):
+        v = assignment.get(abs(lit))
+        if v is None:
+            return None
+        return v == (lit > 0)
+
+    for _ in range(rounds):
+        changed = False
+        # --- unit propagation -------------------------------------------
+        while True:
+            unit = None
+            next_clauses = []
+            for clause in clauses:
+                live = []
+                satisfied = False
+                for lit in clause:
+                    v = value(lit)
+                    if v is True:
+                        satisfied = True
+                        break
+                    if v is None:
+                        live.append(lit)
+                if satisfied:
+                    continue
+                if not live:
+                    return SimplifyResult(Cnf(cnf.num_vars), assignment,
+                                          True, stats)
+                if len(live) == 1 and unit is None:
+                    unit = live[0]
+                next_clauses.append(live)
+            clauses = next_clauses
+            if unit is None:
+                break
+            assignment[abs(unit)] = unit > 0
+            stats["units"] += 1
+            changed = True
+        # --- pure literals ------------------------------------------------
+        polarity = {}
+        for clause in clauses:
+            for lit in clause:
+                var = abs(lit)
+                seen = polarity.get(var)
+                if seen is None:
+                    polarity[var] = lit > 0
+                elif seen != (lit > 0):
+                    polarity[var] = "both"
+        for var, pol in polarity.items():
+            if pol != "both" and var not in assignment:
+                assignment[var] = bool(pol)
+                stats["pures"] += 1
+                changed = True
+        if any(pol != "both" for pol in polarity.values()):
+            clauses = [
+                clause for clause in clauses
+                if not any(value(lit) is True for lit in clause)
+            ]
+        # --- subsumption and self-subsuming resolution -------------------
+        clauses, sub, strengthened = _subsume(clauses)
+        stats["subsumed"] += sub
+        stats["strengthened"] += strengthened
+        if sub or strengthened:
+            changed = True
+        if not changed:
+            break
+    reduced = Cnf(cnf.num_vars)
+    for clause in clauses:
+        reduced.add_clause(clause)
+    return SimplifyResult(reduced, assignment, False, stats)
+
+
+def _subsume(clauses):
+    """Remove subsumed clauses; strengthen via self-subsuming resolution."""
+    clause_sets = [frozenset(c) for c in clauses]
+    keep = [True] * len(clauses)
+    subsumed = 0
+    strengthened = 0
+    # Index: literal -> clause indices containing it (smallest watch lists).
+    by_lit = {}
+    for idx, cs in enumerate(clause_sets):
+        for lit in cs:
+            by_lit.setdefault(lit, []).append(idx)
+    order = sorted(range(len(clauses)), key=lambda i: len(clause_sets[i]))
+    for idx in order:
+        if not keep[idx]:
+            continue
+        small = clause_sets[idx]
+        # Candidates share the rarest literal of the small clause.
+        pivot = min(small, key=lambda l: len(by_lit.get(l, ())))
+        for other in by_lit.get(pivot, ()):  # supersets of `small`
+            if other == idx or not keep[other]:
+                continue
+            if small <= clause_sets[other]:
+                keep[other] = False
+                subsumed += 1
+        # Self-subsuming resolution: small \ {l} ∪ {-l} ⊆ other  =>
+        # remove -l from other.
+        for lit in small:
+            probe = (small - {lit}) | {-lit}
+            for other in by_lit.get(-lit, ()):
+                if other == idx or not keep[other]:
+                    continue
+                if probe <= clause_sets[other]:
+                    new_clause = clause_sets[other] - {-lit}
+                    if new_clause and new_clause != clause_sets[other]:
+                        clause_sets[other] = frozenset(new_clause)
+                        strengthened += 1
+    result = [sorted(clause_sets[i], key=abs)
+              for i in range(len(clauses)) if keep[i]]
+    return result, subsumed, strengthened
+
+
+def models_preserved_vars(result, variables):
+    """Assignment restricted to ``variables`` (helper for tests/clients)."""
+    return {v: result.assignment[v] for v in variables
+            if v in result.assignment}

@@ -1,0 +1,404 @@
+"""A CDCL SAT solver: two-watched literals, first-UIP learning, VSIDS,
+phase saving, Luby restarts and activity-based learned-clause reduction.
+
+The solver supports incremental solving under assumptions, which is what the
+SAT refinement backend of the signal-correspondence engine needs: frame-0
+equivalence assumptions are added as (retractable) assumption literals, and
+each candidate pair becomes one ``solve(assumptions=...)`` query.
+
+Internal literal encoding: variable ``v`` (0-based) has literals ``2v``
+(positive) and ``2v + 1`` (negative); the public API speaks DIMACS integers.
+"""
+
+from ..errors import SatError
+
+TRUE = 1
+FALSE = 0
+UNASSIGNED = -1
+
+
+def _to_internal(dimacs_lit):
+    var = abs(dimacs_lit) - 1
+    return 2 * var + (1 if dimacs_lit < 0 else 0)
+
+
+def _to_dimacs(internal_lit):
+    var = (internal_lit >> 1) + 1
+    return -var if internal_lit & 1 else var
+
+
+def luby(i):
+    """The Luby restart sequence (1,1,2,1,1,2,4,...), 1-based index."""
+    k = 1
+    while (1 << (k + 1)) - 1 <= i:
+        k += 1
+    if i == (1 << k) - 1:
+        return 1 << (k - 1)
+    return luby(i - ((1 << k) - 1))
+
+
+class Solver:
+    """CDCL solver over 0-based internal variables, DIMACS at the API."""
+
+    def __init__(self):
+        self.num_vars = 0
+        self.clauses = []          # list of lists of internal literals
+        self.learned = []
+        self.watches = []          # internal lit -> list of clause refs
+        self.assign = []           # var -> TRUE/FALSE/UNASSIGNED
+        self.level = []            # var -> decision level
+        self.reason = []           # var -> implying clause or None
+        self.trail = []
+        self.trail_lim = []
+        self.activity = []
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.cla_inc = 1.0
+        self.cla_decay = 0.999
+        self.saved_phase = []
+        self.ok = True
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.restarts = 0
+        self.max_learned = 4000
+
+    # -- public API ------------------------------------------------------
+
+    def new_var(self):
+        """Allocate a variable; returns its DIMACS index."""
+        self.num_vars += 1
+        self.assign.append(UNASSIGNED)
+        self.level.append(0)
+        self.reason.append(None)
+        self.activity.append(0.0)
+        self.saved_phase.append(False)
+        self.watches.append([])
+        self.watches.append([])
+        return self.num_vars
+
+    def ensure_vars(self, count):
+        while self.num_vars < count:
+            self.new_var()
+
+    def add_clause(self, dimacs_literals):
+        """Add a problem clause; returns False if the formula became UNSAT."""
+        if not self.ok:
+            return False
+        # Incremental use: clauses are always added at the root level (the
+        # trail may still hold the previous solve's model).
+        self._backtrack(0)
+        literals = []
+        seen = set()
+        for lit in dimacs_literals:
+            if lit == 0 or not isinstance(lit, int):
+                raise SatError("bad literal: {!r}".format(lit))
+            self.ensure_vars(abs(lit))
+            internal = _to_internal(lit)
+            if internal ^ 1 in seen:
+                return True  # tautology
+            if internal in seen:
+                continue
+            seen.add(internal)
+            # Top-level simplification.
+            value = self._lit_value(internal)
+            if value == TRUE and self.level[internal >> 1] == 0:
+                return True
+            if value == FALSE and self.level[internal >> 1] == 0:
+                continue
+            literals.append(internal)
+        if not literals:
+            self.ok = False
+            return False
+        if len(literals) == 1:
+            if not self._enqueue(literals[0], None):
+                self.ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self.ok = False
+                return False
+            return True
+        clause = literals
+        self.clauses.append(clause)
+        self._watch_clause(clause)
+        return True
+
+    def add_cnf(self, cnf):
+        """Add every clause of a :class:`~repro.sat.cnf.Cnf`."""
+        self.ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses:
+            if not self.add_clause(clause):
+                return False
+        return self.ok
+
+    def solve(self, assumptions=(), conflict_budget=None):
+        """Solve under assumptions; True/False, or None on budget exhaustion.
+
+        Assumptions occupy the first decision levels.  A conflict whose
+        analysis backtracks past an assumption makes that assumption evaluate
+        to false when it is re-placed, at which point the query is UNSAT
+        under the assumptions (the base formula stays intact and reusable).
+        """
+        if not self.ok:
+            return False
+        self._backtrack(0)
+        conflict_count_start = self.conflicts
+        conflicts_at_restart = self.conflicts
+        restart_idx = 1
+        limit = luby(restart_idx) * 64
+        assumption_lits = [_to_internal(lit) for lit in assumptions]
+        for lit in assumption_lits:
+            self.ensure_vars((lit >> 1) + 1)
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                if self._decision_level() == 0:
+                    # Conflict from top-level facts alone: base formula UNSAT.
+                    self.ok = False
+                    return False
+                learnt, back_level = self._analyze(conflict)
+                self._backtrack(back_level)
+                self._record_learnt(learnt)
+                self._decay_activities()
+                if conflict_budget is not None and (
+                    self.conflicts - conflict_count_start
+                ) >= conflict_budget:
+                    self._backtrack(0)
+                    return None
+                if self.conflicts - conflicts_at_restart >= limit:
+                    restart_idx += 1
+                    limit = luby(restart_idx) * 64
+                    conflicts_at_restart = self.conflicts
+                    self.restarts += 1
+                    self._backtrack(0)
+                if len(self.learned) > self.max_learned:
+                    self._reduce_learned()
+            else:
+                # Place pending assumptions as decisions.
+                if self._decision_level() < len(assumption_lits):
+                    lit = assumption_lits[self._decision_level()]
+                    value = self._lit_value(lit)
+                    if value == TRUE:
+                        # Already implied: open an empty decision level so the
+                        # level/assumption-index correspondence is kept.
+                        self.trail_lim.append(len(self.trail))
+                        continue
+                    if value == FALSE:
+                        self._backtrack(0)
+                        return False
+                    self.trail_lim.append(len(self.trail))
+                    self._enqueue(lit, None)
+                    continue
+                lit = self._pick_branch()
+                if lit is None:
+                    return True
+                self.decisions += 1
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(lit, None)
+
+    def model(self):
+        """Assignment dict {dimacs_var: bool} after a satisfiable solve."""
+        return {
+            v + 1: self.assign[v] == TRUE
+            for v in range(self.num_vars)
+            if self.assign[v] != UNASSIGNED
+        }
+
+    def value(self, dimacs_var):
+        v = self.assign[dimacs_var - 1]
+        return None if v == UNASSIGNED else v == TRUE
+
+    # -- internals ---------------------------------------------------------
+
+    def _lit_value(self, lit):
+        v = self.assign[lit >> 1]
+        if v == UNASSIGNED:
+            return UNASSIGNED
+        return v ^ (lit & 1)
+
+    def _watch_clause(self, clause):
+        self.watches[clause[0] ^ 1].append(clause)
+        self.watches[clause[1] ^ 1].append(clause)
+
+    def _enqueue(self, lit, reason):
+        value = self._lit_value(lit)
+        if value != UNASSIGNED:
+            return value == TRUE
+        var = lit >> 1
+        self.assign[var] = TRUE if (lit & 1) == 0 else FALSE
+        self.level[var] = self._decision_level()
+        self.reason[var] = reason
+        self.saved_phase[var] = (lit & 1) == 0
+        self.trail.append(lit)
+        return True
+
+    def _decision_level(self):
+        return len(self.trail_lim)
+
+    def _propagate(self):
+        head = getattr(self, "_qhead", 0)
+        # Reset stale queue head after backtracking.
+        if head > len(self.trail):
+            head = len(self.trail)
+        while head < len(self.trail):
+            lit = self.trail[head]
+            head += 1
+            self.propagations += 1
+            false_lit = lit ^ 1
+            watching = self.watches[lit]
+            self.watches[lit] = []
+            i = 0
+            while i < len(watching):
+                clause = watching[i]
+                i += 1
+                # Make sure the false literal is at position 1.
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) == TRUE:
+                    self.watches[lit].append(clause)
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._lit_value(clause[k]) != FALSE:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watches[clause[1] ^ 1].append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                self.watches[lit].append(clause)
+                if not self._enqueue(first, clause):
+                    # Conflict: restore remaining watchers and report.
+                    self.watches[lit].extend(watching[i:])
+                    self._qhead = len(self.trail)
+                    return clause
+            self._qhead = head
+        self._qhead = head
+        return None
+
+    def _analyze(self, conflict):
+        """First-UIP conflict analysis; returns (learnt_clause, back_level)."""
+        learnt = []
+        seen = [False] * self.num_vars
+        counter = 0
+        lit = None
+        clause = conflict
+        trail_idx = len(self.trail) - 1
+        current_level = self._decision_level()
+        while True:
+            for q in clause:
+                if lit is not None and q == lit:
+                    continue
+                var = q >> 1
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self.level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while not seen[self.trail[trail_idx] >> 1]:
+                trail_idx -= 1
+            lit = self.trail[trail_idx]
+            var = lit >> 1
+            seen[var] = False
+            trail_idx -= 1
+            counter -= 1
+            if counter == 0:
+                break
+            clause = self.reason[var]
+        learnt.insert(0, lit ^ 1)
+        # Minimize: drop literals implied by the rest (MiniSat basic mode).
+        learnt = self._minimize(learnt)
+        if len(learnt) == 1:
+            back_level = 0
+        else:
+            # Find the second-highest level in the clause.
+            max_i = 1
+            for i in range(2, len(learnt)):
+                if self.level[learnt[i] >> 1] > self.level[learnt[max_i] >> 1]:
+                    max_i = i
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            back_level = self.level[learnt[1] >> 1]
+        return learnt, back_level
+
+    def _minimize(self, learnt):
+        seen = {q >> 1 for q in learnt}
+        result = [learnt[0]]
+        for q in learnt[1:]:
+            reason = self.reason[q >> 1]
+            if reason is None:
+                result.append(q)
+                continue
+            redundant = all(
+                (r >> 1) in seen or self.level[r >> 1] == 0
+                for r in reason
+                if r != (q ^ 1)
+            )
+            if not redundant:
+                result.append(q)
+        return result
+
+    def _record_learnt(self, learnt):
+        if len(learnt) == 1:
+            self._enqueue(learnt[0], None)
+            return
+        self.learned.append(learnt)
+        self._watch_clause(learnt)
+        self._enqueue(learnt[0], learnt)
+
+    def _backtrack(self, target_level):
+        if self._decision_level() <= target_level:
+            return
+        boundary = self.trail_lim[target_level]
+        for lit in reversed(self.trail[boundary:]):
+            var = lit >> 1
+            self.assign[var] = UNASSIGNED
+            self.reason[var] = None
+        del self.trail[boundary:]
+        del self.trail_lim[target_level:]
+        self._qhead = len(self.trail)
+
+    def _pick_branch(self):
+        best = None
+        best_act = -1.0
+        for var in range(self.num_vars):
+            if self.assign[var] == UNASSIGNED and self.activity[var] > best_act:
+                best = var
+                best_act = self.activity[var]
+        if best is None:
+            return None
+        return 2 * best + (0 if self.saved_phase[best] else 1)
+
+    def _bump_var(self, var):
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(self.num_vars):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _decay_activities(self):
+        self.var_inc /= self.var_decay
+
+    def _reduce_learned(self):
+        """Drop half the learned clauses, keeping short ones and reasons."""
+        locked = {id(self.reason[lit >> 1]) for lit in self.trail
+                  if self.reason[lit >> 1] is not None}
+        self.learned.sort(key=len)
+        keep, drop = [], set()
+        half = len(self.learned) // 2
+        for i, clause in enumerate(self.learned):
+            if i < half or len(clause) <= 2 or id(clause) in locked:
+                keep.append(clause)
+            else:
+                drop.add(id(clause))
+        if not drop:
+            return
+        self.learned = keep
+        for lit in range(2 * self.num_vars):
+            self.watches[lit] = [
+                c for c in self.watches[lit] if id(c) not in drop
+            ]

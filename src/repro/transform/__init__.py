@@ -1,0 +1,65 @@
+"""Semantics-preserving circuit transformations (and fault injection).
+
+The benchmark synthesis pipeline composes :func:`retime` and
+:func:`optimize` to manufacture "implementation" circuits from
+"specification" circuits, reproducing the paper's experimental setup
+(kerneling + retiming, then ``script.rugged``).
+"""
+
+from .optimize import (
+    associative_regroup,
+    cone_resynthesize,
+    constant_fold,
+    demorgan_rewrite,
+    obfuscate_names,
+    optimize,
+    remove_double_negation,
+    sweep,
+    xor_expand,
+)
+from .retime import (
+    backward_movable_registers,
+    backward_retime_register,
+    forward_movable_gates,
+    forward_retime_gate,
+    retime,
+)
+from .encode import xor_reencode, xor_reencode_pair
+from .mutate import inject_distinguishable_fault, inject_fault
+from .twolevel import eval_cover, minterms_to_cubes
+
+
+def synthesize(circuit, retime_moves=4, optimize_level=2, seed=0):
+    """The full benchmark pipeline: retime, then optimize.
+
+    Mirrors the paper's setup: the implementation is the specification after
+    retiming-based synthesis plus aggressive combinational optimization.
+    The result is sequentially equivalent to the input by construction.
+    """
+    retimed = retime(circuit, moves=retime_moves, seed=seed)
+    return optimize(retimed, level=optimize_level, seed=seed + 1)
+
+
+__all__ = [
+    "associative_regroup",
+    "backward_movable_registers",
+    "backward_retime_register",
+    "cone_resynthesize",
+    "constant_fold",
+    "demorgan_rewrite",
+    "eval_cover",
+    "forward_movable_gates",
+    "forward_retime_gate",
+    "inject_distinguishable_fault",
+    "inject_fault",
+    "minterms_to_cubes",
+    "obfuscate_names",
+    "optimize",
+    "remove_double_negation",
+    "retime",
+    "sweep",
+    "synthesize",
+    "xor_expand",
+    "xor_reencode",
+    "xor_reencode_pair",
+]

@@ -1,0 +1,57 @@
+"""State re-encoding transformations.
+
+XOR re-encoding replaces a register pair (p, q) by (p, p XOR q): the second
+register now stores the *difference*, its data input becomes the XOR of the
+original data inputs, and every reader of q is rewired to a decode gate
+``p XOR (p XOR q)``.  Input/output behaviour is preserved, but the original
+state encoding is gone — the kind of transformation the incremental
+re-encoding baseline [12] targets, and a stress test for signal
+correspondence (the decode gate keeps the method complete here; see
+``repro.circuits.paper_example.mod3_counter_pair`` for a genuinely
+incomplete case).
+"""
+
+import random
+
+from ..errors import TransformError
+from ..netlist.circuit import GateType
+
+
+def xor_reencode_pair(circuit, p_name, q_name):
+    """Re-encode registers (p, q) -> (p, p^q) in place."""
+    if p_name == q_name:
+        raise TransformError("cannot re-encode a register with itself")
+    p = circuit.registers.get(p_name)
+    q = circuit.registers.get(q_name)
+    if p is None or q is None:
+        raise TransformError("both nets must be registers")
+    # New difference register d with input p.data_in XOR q.data_in.
+    din = circuit.fresh_name("enc_din_{}".format(q_name))
+    circuit.add_gate(din, GateType.XOR, [p.data_in, q.data_in])
+    dreg = circuit.fresh_name("enc_d_{}".format(q_name))
+    circuit.add_register(dreg, din, init=(p.init != q.init))
+    # Decode gate reproducing q's value.
+    decode = circuit.fresh_name("enc_dec_{}".format(q_name))
+    circuit.add_gate(decode, GateType.XOR, [p_name, dreg])
+    # Rewire q's readers to the decode gate, then drop q.
+    circuit.replace_fanin(q_name, decode)
+    del circuit.registers[q_name]
+    circuit._topo_cache = None
+    return dreg, decode
+
+
+def xor_reencode(circuit, pairs=1, seed=0):
+    """Re-encode ``pairs`` random register pairs on a copy of the circuit."""
+    from .optimize import sweep
+
+    result = circuit.copy()
+    rng = random.Random(seed)
+    for _ in range(pairs):
+        regs = sorted(result.registers)
+        if len(regs) < 2:
+            break
+        p_name, q_name = rng.sample(regs, 2)
+        xor_reencode_pair(result, p_name, q_name)
+    result = sweep(result)
+    result.validate()
+    return result

@@ -1,0 +1,91 @@
+"""Fault injection: create *inequivalent* variants for negative testing.
+
+A mutation may accidentally be benign (redundant logic); callers that need a
+guaranteed-inequivalent pair should confirm with simulation or the
+reachability baseline — :func:`inject_distinguishable_fault` does the
+simulation screen automatically.
+"""
+
+import random
+
+from ..errors import TransformError
+from ..netlist.circuit import GateType
+from ..netlist.simulate import SequentialSimulator
+
+_SWAPS = {
+    GateType.AND: GateType.OR,
+    GateType.OR: GateType.AND,
+    GateType.NAND: GateType.NOR,
+    GateType.NOR: GateType.NAND,
+    GateType.XOR: GateType.XNOR,
+    GateType.XNOR: GateType.XOR,
+    GateType.NOT: GateType.BUF,
+    GateType.BUF: GateType.NOT,
+}
+
+
+def inject_fault(circuit, seed=0):
+    """Apply one random mutation to a copy; returns (circuit, description).
+
+    Mutations: gate-type swap, fanin negation (insert inverter), stuck
+    register initial value flip.
+    """
+    result = circuit.copy()
+    rng = random.Random(seed)
+    kinds = []
+    if result.gates:
+        kinds.extend(["type_swap", "negate_fanin"])
+    if result.registers:
+        kinds.append("init_flip")
+    if not kinds:
+        raise TransformError("nothing to mutate")
+    kind = rng.choice(kinds)
+    if kind == "type_swap":
+        name = rng.choice(sorted(result.gates))
+        gate = result.gates[name]
+        if gate.gtype in _SWAPS:
+            gate.gtype = _SWAPS[gate.gtype]
+            return result, "type_swap:{}".format(name)
+        kind = "negate_fanin"
+    if kind == "negate_fanin":
+        candidates = [g for g in result.gates.values() if g.fanins]
+        if not candidates:
+            raise TransformError("no gate with fanins to mutate")
+        gate = rng.choice(sorted(candidates, key=lambda g: g.name))
+        idx = rng.randrange(len(gate.fanins))
+        target = gate.fanins[idx]
+        inv = result.fresh_name("flt_{}".format(target))
+        result.add_gate(inv, GateType.NOT, [target])
+        gate.fanins[idx] = inv
+        result._topo_cache = None
+        return result, "negate_fanin:{}[{}]".format(gate.name, idx)
+    name = rng.choice(sorted(result.registers))
+    reg = result.registers[name]
+    reg.init = not reg.init
+    return result, "init_flip:{}".format(name)
+
+
+def inject_distinguishable_fault(circuit, seed=0, frames=32, width=64,
+                                 attempts=50):
+    """Inject a fault that random simulation confirms changes output behaviour.
+
+    Returns ``(mutated_circuit, description)``; raises if ``attempts``
+    mutations all look benign under simulation (rare on real circuits).
+    """
+    for attempt in range(attempts):
+        mutated, description = inject_fault(circuit, seed=seed + attempt)
+        sim_a = SequentialSimulator(circuit, width=width, seed=seed)
+        sim_b = SequentialSimulator(mutated, width=width, seed=seed)
+        sig_a = sim_a.run(frames)
+        sig_b = sim_b.run(frames)
+        differs = any(
+            sig_a[out_a] != sig_b[out_b]
+            for out_a, out_b in zip(circuit.outputs, mutated.outputs)
+        )
+        if differs:
+            return mutated, description
+    raise TransformError(
+        "could not produce a simulation-distinguishable fault in {} tries".format(
+            attempts
+        )
+    )

@@ -1,0 +1,385 @@
+"""Combinational resynthesis passes (the SIS ``script.rugged`` stand-in).
+
+Every pass is semantics-preserving on all primary outputs and register data
+inputs; the composite :func:`optimize` destroys gate-level structure and
+names, which is exactly what makes the verification problem interesting —
+the paper further optimizes the retimed benchmarks with ``script.rugged`` to
+reduce the fraction of corresponding signals from 85% to 54%.
+"""
+
+import random
+
+from ..errors import TransformError
+from ..netlist.circuit import Circuit, GateType
+from ..netlist.cones import combinational_support, transitive_fanin
+from ..netlist.simulate import bit_parallel_eval
+from ..netlist.strash import strash
+from .twolevel import minterms_to_cubes
+
+# --------------------------------------------------------------------------
+# Individual passes (each takes and returns a Circuit; callers pass copies)
+# --------------------------------------------------------------------------
+
+
+def constant_fold(circuit):
+    """Propagate constants through gates and collapse degenerate gates."""
+    circuit = circuit.copy()
+    const = {}
+    for name in circuit.topo_order():
+        gate = circuit.gates[name]
+        if gate.gtype is GateType.CONST0:
+            const[name] = False
+            continue
+        if gate.gtype is GateType.CONST1:
+            const[name] = True
+            continue
+        known = [const[f] for f in gate.fanins if f in const]
+        unknown = [f for f in gate.fanins if f not in const]
+        folded = _fold_gate(circuit, gate, known, unknown)
+        if folded is not None:
+            const[name] = folded
+    changed = {
+        name: value for name, value in const.items()
+        if name in circuit.gates
+        and circuit.gates[name].gtype not in (GateType.CONST0, GateType.CONST1)
+    }
+    for name, value in changed.items():
+        gate = circuit.gates[name]
+        gate.gtype = GateType.CONST1 if value else GateType.CONST0
+        gate.fanins = []
+    circuit._topo_cache = None
+    return sweep(circuit)
+
+
+def _fold_gate(circuit, gate, known, unknown):
+    """Constant value of the gate if determined; may simplify in place."""
+    gtype = gate.gtype
+    if gtype in (GateType.AND, GateType.NAND):
+        if any(v is False for v in known):
+            return gtype is GateType.NAND
+        if not unknown:
+            return gtype is GateType.AND
+        gate.fanins = list(unknown)
+        if len(unknown) == 1 and gtype is GateType.NAND:
+            gate.gtype = GateType.NOT
+        elif len(unknown) == 1:
+            gate.gtype = GateType.BUF
+        return None
+    if gtype in (GateType.OR, GateType.NOR):
+        if any(v is True for v in known):
+            return gtype is GateType.OR
+        if not unknown:
+            return gtype is GateType.NOR
+        gate.fanins = list(unknown)
+        if len(unknown) == 1:
+            gate.gtype = GateType.BUF if gtype is GateType.OR else GateType.NOT
+        return None
+    if gtype in (GateType.XOR, GateType.XNOR):
+        parity = sum(bool(v) for v in known) % 2 == 1
+        if not unknown:
+            value = parity
+            return value != (gtype is GateType.XNOR)
+        invert = parity != (gtype is GateType.XNOR)
+        gate.fanins = list(unknown)
+        if len(unknown) == 1:
+            gate.gtype = GateType.NOT if invert else GateType.BUF
+        else:
+            gate.gtype = GateType.XNOR if invert else GateType.XOR
+        return None
+    if gtype is GateType.NOT and known:
+        return not known[0]
+    if gtype is GateType.BUF and known:
+        return known[0]
+    return None
+
+
+def sweep(circuit):
+    """Remove gates *and registers* not in the sequential fanin of an output.
+
+    Liveness is computed through register data inputs, so a register whose
+    output feeds nothing transitively observable disappears along with its
+    input cone.
+    """
+    circuit = circuit.copy()
+    live = transitive_fanin(circuit, list(circuit.outputs),
+                            stop_at_registers=False)
+    for name in [n for n in circuit.gates if n not in live]:
+        circuit.remove_gate(name)
+    for name in [n for n in circuit.registers if n not in live]:
+        del circuit.registers[name]
+    circuit._topo_cache = None
+    return circuit
+
+
+def remove_double_negation(circuit):
+    """Rewire NOT(NOT(x)) readers straight to x; sweep the dead pair."""
+    circuit = circuit.copy()
+    for name in circuit.topo_order():
+        gate = circuit.gates.get(name)
+        if gate is None or gate.gtype is not GateType.NOT:
+            continue
+        inner_name = gate.fanins[0]
+        inner = circuit.gates.get(inner_name)
+        if inner is not None and inner.gtype is GateType.NOT:
+            circuit.replace_fanin(name, inner.fanins[0])
+    return sweep(circuit)
+
+
+def demorgan_rewrite(circuit, seed=0, fraction=0.5):
+    """Rewrite a random subset of AND/OR/NAND/NOR gates via De Morgan."""
+    circuit = circuit.copy()
+    rng = random.Random(seed)
+    targets = [
+        name
+        for name, gate in circuit.gates.items()
+        if gate.gtype in (GateType.AND, GateType.OR, GateType.NAND, GateType.NOR)
+        and rng.random() < fraction
+    ]
+    dual = {
+        GateType.AND: GateType.NOR,
+        GateType.OR: GateType.NAND,
+        GateType.NAND: GateType.OR,
+        GateType.NOR: GateType.AND,
+    }
+    for name in targets:
+        gate = circuit.gates[name]
+        inverted = []
+        for fanin in gate.fanins:
+            inv = circuit.fresh_name("dm_{}".format(fanin))
+            circuit.add_gate(inv, GateType.NOT, [fanin])
+            inverted.append(inv)
+        gate.gtype = dual[gate.gtype]
+        gate.fanins = inverted
+    circuit._topo_cache = None
+    return circuit
+
+
+def associative_regroup(circuit, seed=0):
+    """Flatten same-type AND/OR trees and rebuild them as random trees."""
+    circuit = circuit.copy()
+    rng = random.Random(seed)
+    fanout = circuit.fanout_map()
+    for name in list(circuit.topo_order()):
+        gate = circuit.gates.get(name)
+        if gate is None or gate.gtype not in (GateType.AND, GateType.OR):
+            continue
+        leaves = _flatten(circuit, name, gate.gtype, fanout)
+        if len(leaves) <= 2:
+            continue
+        rng.shuffle(leaves)
+        while len(leaves) > 2:
+            a = leaves.pop()
+            b = leaves.pop()
+            mid = circuit.fresh_name("ag_{}".format(name))
+            circuit.add_gate(mid, gate.gtype, [a, b])
+            leaves.insert(rng.randrange(len(leaves) + 1), mid)
+        gate.fanins = leaves
+        fanout = circuit.fanout_map()
+    circuit._topo_cache = None
+    return sweep(circuit)
+
+
+def _flatten(circuit, name, gtype, fanout):
+    """Leaves of the maximal single-fanout same-type tree rooted at name."""
+    leaves = []
+    stack = list(circuit.gates[name].fanins)
+    while stack:
+        net = stack.pop()
+        gate = circuit.gates.get(net)
+        if (
+            gate is not None
+            and gate.gtype is gtype
+            and len(fanout.get(net, ())) == 1
+            and net not in circuit.outputs
+        ):
+            stack.extend(gate.fanins)
+        else:
+            leaves.append(net)
+    return leaves
+
+
+def xor_expand(circuit, seed=0, fraction=0.5):
+    """Expand 2-input XOR/XNOR into AND/OR/NOT structure on a random subset."""
+    circuit = circuit.copy()
+    rng = random.Random(seed)
+    targets = [
+        name
+        for name, gate in circuit.gates.items()
+        if gate.gtype in (GateType.XOR, GateType.XNOR)
+        and len(gate.fanins) == 2
+        and rng.random() < fraction
+    ]
+    for name in targets:
+        gate = circuit.gates[name]
+        a, b = gate.fanins
+        na = circuit.fresh_name("xe_na_{}".format(name))
+        nb = circuit.fresh_name("xe_nb_{}".format(name))
+        t1 = circuit.fresh_name("xe_t1_{}".format(name))
+        t2 = circuit.fresh_name("xe_t2_{}".format(name))
+        circuit.add_gate(na, GateType.NOT, [a])
+        circuit.add_gate(nb, GateType.NOT, [b])
+        if gate.gtype is GateType.XOR:
+            circuit.add_gate(t1, GateType.AND, [a, nb])
+            circuit.add_gate(t2, GateType.AND, [na, b])
+            gate.gtype = GateType.OR
+        else:
+            circuit.add_gate(t1, GateType.AND, [a, b])
+            circuit.add_gate(t2, GateType.AND, [na, nb])
+            gate.gtype = GateType.OR
+        gate.fanins = [t1, t2]
+    circuit._topo_cache = None
+    return circuit
+
+
+def cone_resynthesize(circuit, seed=0, max_support=5, fraction=0.3):
+    """Re-express random small cones as fresh minimized two-level logic.
+
+    The most aggressive pass: it collapses a gate's combinational cone to a
+    truth table over its leaf support and rebuilds a minimized SOP, leaving
+    nothing of the original structure.
+    """
+    circuit = circuit.copy()
+    rng = random.Random(seed)
+    candidates = []
+    for name in circuit.topo_order():
+        support = sorted(combinational_support(circuit, name))
+        if 1 <= len(support) <= max_support:
+            candidates.append((name, support))
+    rng.shuffle(candidates)
+    chosen = candidates[: max(1, int(len(candidates) * fraction))]
+    for name, support in chosen:
+        gate = circuit.gates.get(name)
+        if gate is None:
+            continue
+        width = len(support)
+        # Exhaustive truth table via one bit-parallel evaluation.
+        env = {}
+        for i, leaf in enumerate(support):
+            word = 0
+            for pattern in range(1 << width):
+                if (pattern >> i) & 1:
+                    word |= 1 << pattern
+            env[leaf] = word
+        for leaf in list(circuit.inputs) + list(circuit.registers):
+            env.setdefault(leaf, 0)
+        values = bit_parallel_eval(circuit, env, 1 << width)
+        table = values[name]
+        minterms = [p for p in range(1 << width) if (table >> p) & 1]
+        cubes = minterms_to_cubes(minterms, width)
+        _replace_with_sop(circuit, name, support, cubes)
+    circuit._topo_cache = None
+    return sweep(circuit)
+
+
+def _replace_with_sop(circuit, name, support, cubes):
+    """Rebuild gate ``name`` as an SOP over ``support`` given cube cover."""
+    gate = circuit.gates[name]
+    if not cubes:
+        gate.gtype = GateType.CONST0
+        gate.fanins = []
+        return
+    if cubes == ["-" * len(support)]:
+        gate.gtype = GateType.CONST1
+        gate.fanins = []
+        return
+    inverters = {}
+
+    def lit(leaf, positive):
+        if positive:
+            return leaf
+        if leaf not in inverters:
+            inv = circuit.fresh_name("rs_n_{}".format(leaf))
+            circuit.add_gate(inv, GateType.NOT, [leaf])
+            inverters[leaf] = inv
+        return inverters[leaf]
+
+    terms = []
+    for idx, cube in enumerate(cubes):
+        # Cube strings are MSB-first w.r.t. the minterm integer, while
+        # support[i] was assigned pattern bit i (LSB-first): reverse the cube.
+        literals = [
+            lit(leaf, c == "1")
+            for leaf, c in zip(support, reversed(cube))
+            if c != "-"
+        ]
+        if len(literals) == 1:
+            terms.append(literals[0])
+        else:
+            term = circuit.fresh_name("rs_t{}_{}".format(idx, name))
+            circuit.add_gate(term, GateType.AND, literals)
+            terms.append(term)
+    if len(terms) == 1:
+        gate.gtype = GateType.BUF
+        gate.fanins = [terms[0]]
+    else:
+        gate.gtype = GateType.OR
+        gate.fanins = terms
+
+
+def obfuscate_names(circuit, seed=0, prefix="n"):
+    """Rename every internal net (gates and registers) to opaque names.
+
+    Primary input names are kept (the product machine shares them); output
+    *positions* are preserved.  Mirrors how synthesis destroys the name
+    correspondence that tools like [10] rely on.
+    """
+    rng = random.Random(seed)
+    internal = list(circuit.gates) + list(circuit.registers)
+    rng.shuffle(internal)
+    mapping = {net: "{}{}".format(prefix, i) for i, net in enumerate(internal)}
+
+    def rn(net):
+        return mapping.get(net, net)
+
+    out = Circuit(circuit.name)
+    out.inputs = list(circuit.inputs)
+    out.outputs = [rn(net) for net in circuit.outputs]
+    for reg in circuit.registers.values():
+        out.registers[rn(reg.name)] = type(reg)(
+            rn(reg.name), rn(reg.data_in), reg.init
+        )
+    for gate in circuit.gates.values():
+        out.gates[rn(gate.name)] = type(gate)(
+            rn(gate.name), gate.gtype, [rn(f) for f in gate.fanins]
+        )
+    return out.validate()
+
+
+# --------------------------------------------------------------------------
+# The composite pipeline
+# --------------------------------------------------------------------------
+
+OPTIMIZE_LEVELS = (0, 1, 2)
+
+
+def optimize(circuit, level=2, seed=0):
+    """Apply the optimization pipeline at the given aggressiveness level.
+
+    * level 0 — identity (fresh copy only).
+    * level 1 — light cleanup: constant folding, double-negation removal,
+      structural hashing, dead-logic sweep.
+    * level 2 — the ``script.rugged`` stand-in: level 1 plus De Morgan
+      rewriting, associative regrouping, XOR expansion, cone resynthesis,
+      another cleanup round, and name obfuscation.
+    """
+    if level not in OPTIMIZE_LEVELS:
+        raise TransformError("optimize level must be one of {}".format(OPTIMIZE_LEVELS))
+    result = circuit.copy()
+    if level == 0:
+        return result
+    result = constant_fold(result)
+    result = remove_double_negation(result)
+    result, _ = strash(result)
+    result = sweep(result)
+    if level == 1:
+        return result.validate()
+    result = demorgan_rewrite(result, seed=seed, fraction=0.4)
+    result = associative_regroup(result, seed=seed + 1)
+    result = xor_expand(result, seed=seed + 2, fraction=0.5)
+    result = cone_resynthesize(result, seed=seed + 3)
+    result = constant_fold(result)
+    result = remove_double_negation(result)
+    result, _ = strash(result)
+    result = sweep(result)
+    result = obfuscate_names(result, seed=seed + 4)
+    return result.validate()

@@ -1,0 +1,95 @@
+"""Two-level (SOP) minimization: a compact Quine-McCluskey with greedy cover.
+
+Used by the cone-resynthesis optimization pass to re-express small logic
+cones — the stand-in for SIS ``script.rugged``'s collapse/minimize steps in
+the benchmark synthesis pipeline.
+
+Cubes are strings over '0', '1', '-' (one character per variable).
+"""
+
+
+def minterms_to_cubes(minterms, width):
+    """Minimal-ish cover of the given on-set minterms.
+
+    Returns a list of cube strings.  Empty list = constant 0; the single cube
+    of all '-' = constant 1 (when the on-set is complete).
+    """
+    if not minterms:
+        return []
+    if len(set(minterms)) == 1 << width:
+        return ["-" * width]
+    primes = _prime_implicants(set(minterms), width)
+    return _greedy_cover(primes, set(minterms), width)
+
+
+def _to_cube(minterm, width):
+    return format(minterm, "0{}b".format(width)) if width else ""
+
+
+def _merge(a, b):
+    """Merge two cubes differing in exactly one specified bit, else None."""
+    diff = 0
+    merged = []
+    for ca, cb in zip(a, b):
+        if ca == cb:
+            merged.append(ca)
+        elif "-" in (ca, cb):
+            return None
+        else:
+            diff += 1
+            merged.append("-")
+            if diff > 1:
+                return None
+    return "".join(merged) if diff == 1 else None
+
+
+def _prime_implicants(minterms, width):
+    current = {_to_cube(m, width) for m in minterms}
+    primes = set()
+    while current:
+        merged_any = set()
+        used = set()
+        current_list = sorted(current)
+        for i, a in enumerate(current_list):
+            for b in current_list[i + 1:]:
+                merged = _merge(a, b)
+                if merged is not None:
+                    merged_any.add(merged)
+                    used.add(a)
+                    used.add(b)
+        primes.update(c for c in current_list if c not in used)
+        current = merged_any
+    return sorted(primes)
+
+
+def cube_covers(cube, minterm, width):
+    bits = _to_cube(minterm, width)
+    return all(c == "-" or c == b for c, b in zip(cube, bits))
+
+
+def _greedy_cover(primes, minterms, width):
+    remaining = set(minterms)
+    cover = []
+    coverage = {
+        cube: {m for m in minterms if cube_covers(cube, m, width)}
+        for cube in primes
+    }
+    while remaining:
+        best = max(primes, key=lambda c: (len(coverage[c] & remaining), c))
+        gained = coverage[best] & remaining
+        if not gained:
+            raise AssertionError("prime implicants fail to cover on-set")
+        cover.append(best)
+        remaining -= gained
+    return cover
+
+
+def eval_cover(cubes, assignment_bits):
+    """Evaluate a cube cover on a tuple/list of booleans."""
+    for cube in cubes:
+        if all(
+            c == "-" or (c == "1") == bool(bit)
+            for c, bit in zip(cube, assignment_bits)
+        ):
+            return True
+    return False

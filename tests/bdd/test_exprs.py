@@ -1,0 +1,95 @@
+"""Boolean expression parser / SOP printer tests."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bdd import BddManager
+from repro.bdd.exprs import parse, to_sop
+from repro.errors import BddError
+
+from .test_ops_property import NVARS, build_bdd, eval_expr, exprs, all_envs
+
+
+def test_constants_and_literals():
+    mgr = BddManager()
+    assert parse(mgr, "1") == mgr.true
+    assert parse(mgr, "0") == mgr.false
+    a = parse(mgr, "a")
+    assert parse(mgr, "!a") == mgr.apply_not(a)
+    assert parse(mgr, "!!a") == a
+
+
+def test_operators_and_precedence():
+    mgr = BddManager()
+    a = parse(mgr, "a")
+    b = parse(mgr, "b")
+    c = parse(mgr, "c")
+    # & binds tighter than |, | tighter than ^.
+    assert parse(mgr, "a | b & c") == mgr.apply_or(a, mgr.apply_and(b, c))
+    assert parse(mgr, "a ^ b | c") == mgr.apply_xor(a, mgr.apply_or(b, c))
+    assert parse(mgr, "(a | b) & c") == mgr.apply_and(mgr.apply_or(a, b), c)
+
+
+def test_implication_and_equivalence():
+    mgr = BddManager()
+    a = parse(mgr, "a")
+    b = parse(mgr, "b")
+    assert parse(mgr, "a => b") == mgr.apply_implies(a, b)
+    assert parse(mgr, "a <=> b") == mgr.apply_xnor(a, b)
+    # Right associativity: a => (b => a) is a tautology.
+    assert parse(mgr, "a => b => a") == mgr.true
+
+
+def test_auto_vars_flag():
+    mgr = BddManager()
+    parse(mgr, "x & y")
+    assert mgr.num_vars == 2
+    with pytest.raises(BddError):
+        parse(mgr, "z", auto_vars=False)
+
+
+def test_parse_errors():
+    mgr = BddManager()
+    with pytest.raises(BddError):
+        parse(mgr, "a &")
+    with pytest.raises(BddError):
+        parse(mgr, "(a")
+    with pytest.raises(BddError):
+        parse(mgr, "a b")
+    with pytest.raises(BddError):
+        parse(mgr, "a @ b")
+
+
+def test_to_sop_basic():
+    mgr = BddManager()
+    assert to_sop(mgr, mgr.true) == "1"
+    assert to_sop(mgr, mgr.false) == "0"
+    f = parse(mgr, "a & !b")
+    assert to_sop(mgr, f) == "a & !b"
+
+
+def test_to_sop_round_trip():
+    mgr = BddManager()
+    f = parse(mgr, "(a & b) | (!a & c) | (b ^ c)")
+    text = to_sop(mgr, f)
+    again = parse(mgr, text)
+    assert again == f
+
+
+def test_to_sop_cube_budget():
+    mgr = BddManager()
+    f = parse(mgr, " ^ ".join("v{}".format(i) for i in range(10)))
+    with pytest.raises(BddError):
+        to_sop(mgr, f, max_cubes=4)
+
+
+@settings(max_examples=60, deadline=None)
+@given(exprs())
+def test_sop_of_random_functions_round_trips(tree):
+    mgr = BddManager()
+    variables = mgr.add_vars(["x{}".format(i) for i in range(NVARS)])
+    f = build_bdd(mgr, variables, tree)
+    text = to_sop(mgr, f, max_cubes=10000)
+    assert parse(mgr, text, auto_vars=False) == f

@@ -1,0 +1,179 @@
+"""Property-based tests: BDD semantics against brute-force truth tables."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BddManager
+
+NVARS = 4
+
+
+def exprs(max_depth=4):
+    """Strategy producing boolean expression trees over NVARS variables."""
+    leaves = st.one_of(
+        st.integers(min_value=0, max_value=NVARS - 1).map(lambda i: ("var", i)),
+        st.booleans().map(lambda b: ("const", b)),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.just("not"), children),
+            st.tuples(st.sampled_from(["and", "or", "xor"]), children, children),
+            st.tuples(st.just("ite"), children, children, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+def eval_expr(expr, env):
+    op = expr[0]
+    if op == "var":
+        return env[expr[1]]
+    if op == "const":
+        return expr[1]
+    if op == "not":
+        return not eval_expr(expr[1], env)
+    if op == "and":
+        return eval_expr(expr[1], env) and eval_expr(expr[2], env)
+    if op == "or":
+        return eval_expr(expr[1], env) or eval_expr(expr[2], env)
+    if op == "xor":
+        return eval_expr(expr[1], env) != eval_expr(expr[2], env)
+    if op == "ite":
+        return eval_expr(expr[2 if eval_expr(expr[1], env) else 3], env)
+    raise AssertionError(op)
+
+
+def build_bdd(mgr, variables, expr):
+    op = expr[0]
+    if op == "var":
+        return variables[expr[1]]
+    if op == "const":
+        return mgr.true if expr[1] else mgr.false
+    if op == "not":
+        return mgr.apply_not(build_bdd(mgr, variables, expr[1]))
+    if op == "and":
+        return mgr.apply_and(
+            build_bdd(mgr, variables, expr[1]), build_bdd(mgr, variables, expr[2])
+        )
+    if op == "or":
+        return mgr.apply_or(
+            build_bdd(mgr, variables, expr[1]), build_bdd(mgr, variables, expr[2])
+        )
+    if op == "xor":
+        return mgr.apply_xor(
+            build_bdd(mgr, variables, expr[1]), build_bdd(mgr, variables, expr[2])
+        )
+    if op == "ite":
+        return mgr.ite(
+            build_bdd(mgr, variables, expr[1]),
+            build_bdd(mgr, variables, expr[2]),
+            build_bdd(mgr, variables, expr[3]),
+        )
+    raise AssertionError(op)
+
+
+def all_envs():
+    for bits in itertools.product([False, True], repeat=NVARS):
+        yield dict(enumerate(bits))
+
+
+def fresh():
+    mgr = BddManager()
+    variables = mgr.add_vars(["x{}".format(i) for i in range(NVARS)])
+    var_ids = [mgr.var_of(v) for v in variables]
+    return mgr, variables, var_ids
+
+
+@settings(max_examples=200, deadline=None)
+@given(exprs())
+def test_bdd_matches_truth_table(expr):
+    mgr, variables, var_ids = fresh()
+    f = build_bdd(mgr, variables, expr)
+    for env in all_envs():
+        bdd_env = {var_ids[i]: env[i] for i in range(NVARS)}
+        assert mgr.evaluate(f, bdd_env) == eval_expr(expr, env)
+
+
+@settings(max_examples=100, deadline=None)
+@given(exprs(), exprs())
+def test_canonicity_equal_functions_equal_edges(e1, e2):
+    mgr, variables, var_ids = fresh()
+    f = build_bdd(mgr, variables, e1)
+    g = build_bdd(mgr, variables, e2)
+    same = all(
+        eval_expr(e1, env) == eval_expr(e2, env) for env in all_envs()
+    )
+    assert (f == g) == same
+
+
+@settings(max_examples=100, deadline=None)
+@given(exprs())
+def test_sat_count_matches_enumeration(expr):
+    mgr, variables, var_ids = fresh()
+    f = build_bdd(mgr, variables, expr)
+    expected = sum(1 for env in all_envs() if eval_expr(expr, env))
+    assert mgr.sat_count(f, nvars=NVARS) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(exprs(), st.integers(min_value=0, max_value=NVARS - 1))
+def test_exists_matches_enumeration(expr, qvar):
+    mgr, variables, var_ids = fresh()
+    f = build_bdd(mgr, variables, expr)
+    g = mgr.exists(f, [var_ids[qvar]])
+    for env in all_envs():
+        env_t = dict(env)
+        env_t[qvar] = True
+        env_f = dict(env)
+        env_f[qvar] = False
+        expected = eval_expr(expr, env_t) or eval_expr(expr, env_f)
+        bdd_env = {var_ids[i]: env[i] for i in range(NVARS)}
+        assert mgr.evaluate(g, bdd_env) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(exprs(), exprs(), st.integers(min_value=0, max_value=NVARS - 1))
+def test_compose_matches_substitution(outer, inner, target):
+    mgr, variables, var_ids = fresh()
+    f = build_bdd(mgr, variables, outer)
+    g = build_bdd(mgr, variables, inner)
+    composed = mgr.compose(f, var_ids[target], g)
+    for env in all_envs():
+        env_sub = dict(env)
+        env_sub[target] = eval_expr(inner, env)
+        expected = eval_expr(outer, env_sub)
+        bdd_env = {var_ids[i]: env[i] for i in range(NVARS)}
+        assert mgr.evaluate(composed, bdd_env) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(exprs())
+def test_pick_one_is_a_model(expr):
+    mgr, variables, var_ids = fresh()
+    f = build_bdd(mgr, variables, expr)
+    model = mgr.pick_one(f)
+    if f == mgr.false:
+        assert model is None
+    else:
+        env = {v: model.get(v, False) for v in var_ids}
+        assert mgr.evaluate(f, env)
+
+
+@settings(max_examples=100, deadline=None)
+@given(exprs(), exprs())
+def test_and_exists_agrees_with_two_step(e1, e2):
+    mgr, variables, var_ids = fresh()
+    f = build_bdd(mgr, variables, e1)
+    g = build_bdd(mgr, variables, e2)
+    qvars = var_ids[:2]
+    assert mgr.and_exists(f, g, qvars) == mgr.exists(mgr.apply_and(f, g), qvars)
+
+
+@settings(max_examples=60, deadline=None)
+@given(exprs())
+def test_invariants_hold(expr):
+    mgr, variables, var_ids = fresh()
+    build_bdd(mgr, variables, expr)
+    assert mgr.check_invariants()

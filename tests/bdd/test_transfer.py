@@ -1,0 +1,58 @@
+"""Cross-manager BDD transfer tests."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bdd import BddManager
+from repro.bdd.transfer import transfer
+from repro.errors import BddError
+
+from .test_ops_property import NVARS, all_envs, build_bdd, eval_expr, exprs
+
+
+@settings(max_examples=60, deadline=None)
+@given(exprs())
+def test_transfer_preserves_function(expr):
+    src = BddManager()
+    src_vars = src.add_vars(["x{}".format(i) for i in range(NVARS)])
+    f = build_bdd(src, src_vars, expr)
+    dst = BddManager()
+    # Destination declares the variables in reverse order.
+    dst_vars = dst.add_vars(["y{}".format(i) for i in reversed(range(NVARS))])
+    var_map = {
+        src.var_of(src_vars[i]): dst.var_by_name("y{}".format(i))
+        for i in range(NVARS)
+    }
+    g = transfer(src, f, dst, var_map)
+    for env in all_envs():
+        dst_env = {dst.var_by_name("y{}".format(i)): env[i]
+                   for i in range(NVARS)}
+        assert dst.evaluate(g, dst_env) == eval_expr(expr, env)
+
+
+def test_transfer_constants():
+    src = BddManager()
+    dst = BddManager()
+    assert transfer(src, src.true, dst, {}) == dst.true
+    assert transfer(src, src.false, dst, {}) == dst.false
+
+
+def test_transfer_unmapped_variable_raises():
+    src = BddManager()
+    a = src.add_var("a")
+    dst = BddManager()
+    dst.add_var("b")
+    with pytest.raises(BddError):
+        transfer(src, a, dst, {})
+
+
+def test_transfer_shares_structure():
+    src = BddManager()
+    vs = src.add_vars(["a", "b", "c"])
+    f = src.apply_and(vs[0], src.apply_or(vs[1], vs[2]))
+    dst = BddManager()
+    dvs = dst.add_vars(["a", "b", "c"])
+    var_map = {src.var_of(v): dst.var_of(d) for v, d in zip(vs, dvs)}
+    g1 = transfer(src, f, dst, var_map)
+    g2 = transfer(src, f, dst, var_map)
+    assert g1 == g2  # canonical in the destination

@@ -1,0 +1,76 @@
+"""Counterexample diagnosis tests."""
+
+import pytest
+
+from repro.core import VanEijkVerifier, diagnose
+from repro.errors import VerificationError
+from repro.netlist import build_product
+from repro.reach import check_equivalence_traversal
+from repro.transform import inject_distinguishable_fault
+
+from ..netlist.helpers import counter_circuit, random_sequential_circuit
+
+
+def refuted_case(seed=3):
+    spec = counter_circuit(3)
+    impl, what = inject_distinguishable_fault(spec, seed=seed)
+    product = build_product(spec, impl, match_outputs="order")
+    result = VanEijkVerifier().verify_product(product)
+    assert result.refuted
+    return product, result, what
+
+
+def test_diagnose_basic_report():
+    product, result, what = refuted_case()
+    report = diagnose(product, result)
+    assert report.failing_pairs
+    assert 0 <= report.first_divergence_frame < result.counterexample.length
+    summary = report.summary()
+    assert "counterexample of length" in summary
+    assert "failing output pair" in summary
+
+
+def test_diagnose_frames_replay_consistently():
+    product, result, _ = refuted_case(seed=7)
+    report = diagnose(product, result)
+    final = report.frames[-1]
+    for s, i in report.failing_pairs:
+        assert final[s] != final[i]
+
+
+def test_diagnose_vcd_output():
+    product, result, _ = refuted_case(seed=9)
+    report = diagnose(product, result)
+    text = report.to_vcd(product.circuit)
+    assert "$enddefinitions $end" in text
+    assert "#0" in text
+
+
+def test_diagnose_traversal_cex():
+    spec = counter_circuit(3)
+    impl, _ = inject_distinguishable_fault(spec, seed=5)
+    product = build_product(spec, impl, match_outputs="order")
+    result = check_equivalence_traversal(product)
+    assert result.refuted
+    report = diagnose(product, result)
+    assert report.failing_pairs
+
+
+def test_diagnose_identical_names_finds_suspects():
+    # Spec vs spec-with-fault keeps names mirrored: the injected fault's
+    # cone must appear among the suspects.
+    spec = counter_circuit(4)
+    impl, what = inject_distinguishable_fault(spec, seed=13)
+    product = build_product(spec, impl, match_outputs="order")
+    result = VanEijkVerifier().verify_product(product)
+    report = diagnose(product, result)
+    assert report.suspect_nets  # divergent mirrored nets exist
+
+
+def test_diagnose_rejects_non_refuted():
+    spec = counter_circuit(2)
+    product = build_product(spec, spec.copy(), match_outputs="order")
+    result = VanEijkVerifier().verify_product(product)
+    assert result.proved
+    with pytest.raises(VerificationError):
+        diagnose(product, result)

@@ -1,0 +1,85 @@
+"""Partition data structure unit tests."""
+
+from repro.core.partition import Partition, SignalFunction
+
+
+def fn(edge, nets=()):
+    record = SignalFunction(edge)
+    for net in nets:
+        record.add_net(net, False)
+    return record
+
+
+def test_discrete_partition():
+    fns = [fn(2), fn(4), fn(6)]
+    p = Partition.discrete(fns)
+    assert p.num_classes == 3
+    assert p.num_functions == 3
+    assert not p.nontrivial_classes()
+
+
+def test_from_keys_groups():
+    fns = [fn(2), fn(4), fn(6), fn(8)]
+    p = Partition.from_keys(fns, key=lambda f: f.edge % 4)
+    assert p.num_classes == 2
+    assert p.same_class(2, 6)
+    assert p.same_class(4, 8)
+    assert not p.same_class(2, 4)
+
+
+def test_class_of_and_same_class():
+    fns = [fn(2), fn(4)]
+    p = Partition([[fns[0], fns[1]]])
+    cls = p.class_of(2)
+    assert len(cls) == 2
+    assert p.same_class(2, 4)
+    assert p.class_of(99) is None
+    assert not p.same_class(2, 99)
+
+
+def test_refine_splits_and_reports_change():
+    fns = [fn(2), fn(4), fn(6)]
+    p = Partition([fns])
+
+    def splitter(cls):
+        return [[f for f in cls if f.edge <= 4], [f for f in cls if f.edge > 4]]
+
+    refined, changed = p.refine(splitter)
+    assert changed
+    assert refined.num_classes == 2
+    again, changed2 = refined.refine(lambda cls: [cls])
+    assert not changed2
+
+
+def test_refine_skips_singletons():
+    calls = []
+    p = Partition([[fn(2)], [fn(4), fn(6)]])
+
+    def splitter(cls):
+        calls.append(len(cls))
+        return [cls]
+
+    p.refine(splitter)
+    assert calls == [2]
+
+
+def test_signal_function_members_and_registers():
+    record = SignalFunction(10)
+    record.add_net("a", False, register_var=3)
+    record.add_net("b", True)
+    assert record.nets() == ["a", "b"]
+    assert record.register_vars == [(3, False)]
+
+
+def test_stats():
+    p = Partition([[fn(2), fn(4)], [fn(6)]])
+    stats = p.stats()
+    assert stats["classes"] == 2
+    assert stats["functions"] == 3
+    assert stats["largest_class"] == 2
+    assert stats["nontrivial_classes"] == 1
+
+
+def test_empty_classes_dropped():
+    p = Partition([[], [fn(2)]])
+    assert p.num_classes == 1

@@ -1,0 +1,105 @@
+"""Retiming-with-lag-1 augmentation unit tests (Fig. 3 semantics)."""
+
+from repro.core.retiming_aug import RetimingAugmenter, is_augmented
+from repro.core.timeframe import TimeFrame
+from repro.netlist import Circuit, GateType, SequentialSimulator
+
+from ..netlist.helpers import counter_circuit
+
+
+def chain_circuit():
+    """Two 2-deep register chains feeding an AND (the Fig. 3 shape)."""
+    c = Circuit("chain")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_register("p1", "a", init=False)
+    c.add_register("p2", "p1", init=False)
+    c.add_register("q1", "b", init=False)
+    c.add_register("q2", "q1", init=False)
+    c.add_gate("v", GateType.AND, ["p2", "q2"])
+    c.add_output("v")
+    return c.validate()
+
+
+def test_eligibility_requires_all_register_fanins():
+    c = chain_circuit()
+    c.add_gate("w", GateType.OR, ["p1", "a"])  # mixed fanins
+    c.outputs.append("w")
+    frame = TimeFrame(c)
+    aug = RetimingAugmenter(frame)
+    assert aug.eligible_gates() == ["v"]
+
+
+def test_augmented_signal_function_is_shifted():
+    """The added gate computes the original gate's *next frame* value: its
+    simulated value at frame t equals v's value at frame t+1."""
+    c = chain_circuit()
+    frame = TimeFrame(c, sim_frames=12, sim_width=16)
+    aug = RetimingAugmenter(frame)
+    new_nets = aug.augment_round()
+    assert len(new_nets) == 1
+    new_net = new_nets[0]
+    assert is_augmented(new_net)
+    # Independent simulation storing frames explicitly.
+    sim = SequentialSimulator(frame.circuit, width=8, seed=77)
+    frames = [dict(sim.step()) for _ in range(10)]
+    for t in range(9):
+        assert frames[t][new_net] == frames[t + 1]["v"], t
+
+
+def test_second_round_reaches_lag_two():
+    c = chain_circuit()
+    frame = TimeFrame(c)
+    aug = RetimingAugmenter(frame)
+    first = aug.augment_round()
+    second = aug.augment_round()
+    assert len(second) == 1
+    # The lag-2 signal equals v two frames later.
+    sim = SequentialSimulator(frame.circuit, width=8, seed=5)
+    frames = [dict(sim.step()) for _ in range(10)]
+    for t in range(8):
+        assert frames[t][second[0]] == frames[t + 2]["v"], t
+
+
+def test_rounds_exhaust():
+    c = chain_circuit()
+    frame = TimeFrame(c)
+    aug = RetimingAugmenter(frame)
+    rounds = 0
+    while aug.augment_round():
+        rounds += 1
+        assert rounds < 10
+    # Chains are 2 deep: lag-1 over registers, lag-2 over inputs... the
+    # lag-2 signal's fanins are primary inputs, so it is never shifted
+    # again and augmentation terminates.
+    assert rounds == 2
+    assert aug.eligible_gates() == []
+
+
+def test_no_eligible_gates_no_rounds():
+    c = Circuit("flat")
+    c.add_input("x")
+    c.add_register("r", "g", init=False)
+    c.add_gate("g", GateType.AND, ["x", "r"])  # mixed fanins: ineligible
+    c.add_output("r")
+    frame = TimeFrame(c)
+    aug = RetimingAugmenter(frame)
+    assert aug.augment_round() == []
+    assert aug.rounds == 0
+
+
+def test_augmented_nets_tracked_and_simulated():
+    c = counter_circuit(3)
+    frame = TimeFrame(c)
+    aug = RetimingAugmenter(frame)
+    new_nets = aug.augment_round()
+    for net in new_nets:
+        assert net in frame.signatures
+        assert net in frame.values
+    assert aug.augmented_nets == new_nets
+
+
+def test_is_augmented_marker():
+    assert is_augmented("@rt1_v")
+    assert not is_augmented("v")
+    assert not is_augmented("s.@weird")

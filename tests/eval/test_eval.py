@@ -1,0 +1,94 @@
+"""Evaluation harness tests: Table-1 runner, renderers, ablations."""
+
+from repro.circuits import row_by_name
+from repro.eval import (
+    ablation_opt_level,
+    ablation_reach_bound,
+    ablation_retiming,
+    ablation_simulation,
+    fmt_any,
+    render_ablation,
+    render_table1,
+    run_row,
+    run_table,
+)
+
+
+def test_run_row_columns():
+    row = row_by_name("s386")
+    result = run_row(row)
+    d = result.as_dict()
+    assert d["circuit"] == "s386"
+    assert d["regs"].startswith("6/")
+    assert d["proposed"]["verdict"] is True
+    assert d["proposed"]["retimes"] is not None
+    assert d["traversal"]["verdict"] is True
+    assert 0 <= d["eqs"] <= 100
+
+
+def test_run_row_without_traversal():
+    row = row_by_name("s386")
+    result = run_row(row, run_traversal=False)
+    assert result.traversal is None
+    d = result.as_dict()
+    assert d["traversal"] == {"time": None, "nodes": None, "its": None}
+
+
+def test_run_row_traversal_abort_rendered():
+    row = row_by_name("s838")
+    result = run_row(row, traversal_time_limit=2.0,
+                     traversal_max_iterations=50)
+    assert result.traversal.inconclusive
+    assert result.proposed.proved
+    text = render_table1([result])
+    assert "abort" in text
+    assert "s838" in text
+
+
+def test_run_table_and_render():
+    rows = [row_by_name("s386"), row_by_name("s510")]
+    results = run_table(rows, traversal_time_limit=30)
+    text = render_table1(results)
+    assert "s386" in text and "s510" in text
+    assert "eqs%" in text
+    lines = text.splitlines()
+    assert len(lines) == 2 + len(results)
+
+
+def test_render_ablation_generic():
+    rows = [{"circuit": "a", "x": 1.5}, {"circuit": "b", "x": None}]
+    text = render_ablation(
+        "title", rows,
+        [("circuit", "circuit", fmt_any), ("x", "metric", fmt_any)],
+    )
+    assert "title" in text
+    assert "1.50" in text
+    assert "-" in text
+
+
+def test_ablation_simulation_shape():
+    results = ablation_simulation([row_by_name("s386")])
+    assert results[0]["both_proved"]
+    assert results[0]["its_sim"] <= results[0]["its_nosim"]
+
+
+def test_ablation_opt_level_shape():
+    results = ablation_opt_level([row_by_name("s386")])
+    row = results[0]
+    assert row["both_proved"]
+    assert row["eqs_optimized"] <= row["eqs_retime_only"] + 1e-9
+
+
+def test_ablation_retiming_fig3_row():
+    results = ablation_retiming(rows=[])
+    fig3 = results[0]
+    assert fig3["circuit"] == "fig3"
+    assert fig3["proved_on"] and not fig3["proved_off"]
+
+
+def test_ablation_reach_bound_shape():
+    results = ablation_reach_bound()
+    names = {r["circuit"] for r in results}
+    assert names == {"onehot", "onehot_en"}
+    for r in results:
+        assert r["with_reach"] is True

@@ -1,0 +1,81 @@
+"""Shared circuit-building helpers and hypothesis strategies for tests."""
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.netlist import Circuit, GateType
+
+BINARY_TYPES = [
+    GateType.AND,
+    GateType.OR,
+    GateType.NAND,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+]
+
+
+def toggle_circuit():
+    """One register toggling under an enable input; output mirrors it."""
+    c = Circuit("toggle")
+    c.add_input("en")
+    c.add_register("q", "d", init=False)
+    c.add_gate("d", GateType.XOR, ["en", "q"])
+    c.add_gate("out", GateType.BUF, ["q"])
+    c.add_output("out")
+    return c.validate()
+
+
+def counter_circuit(bits=3, name="counter"):
+    """A ``bits``-wide binary up-counter with an enable input.
+
+    Output is the MSB; classic deep-state-space workload.
+    """
+    c = Circuit(name)
+    c.add_input("en")
+    carry = "en"
+    for i in range(bits):
+        q = "q{}".format(i)
+        c.add_register(q, "d{}".format(i), init=False)
+    for i in range(bits):
+        q = "q{}".format(i)
+        c.add_gate("d{}".format(i), GateType.XOR, [q, carry])
+        if i < bits - 1:
+            nxt = "c{}".format(i)
+            c.add_gate(nxt, GateType.AND, [q, carry])
+            carry = nxt
+    c.add_output("q{}".format(bits - 1))
+    return c.validate()
+
+
+def random_sequential_circuit(seed, n_inputs=3, n_regs=3, n_gates=10, name=None):
+    """Deterministic random circuit: gates over inputs/registers/earlier gates."""
+    rng = random.Random(seed)
+    c = Circuit(name or "rand{}".format(seed))
+    for i in range(n_inputs):
+        c.add_input("x{}".format(i))
+    for i in range(n_regs):
+        c.add_register("r{}".format(i), "__tbd", init=rng.random() < 0.5)
+    available = list(c.inputs) + list(c.registers)
+    for i in range(n_gates):
+        gtype = rng.choice(BINARY_TYPES + [GateType.NOT])
+        if gtype is GateType.NOT:
+            fanins = [rng.choice(available)]
+        else:
+            k = rng.choice([2, 2, 2, 3])
+            fanins = [rng.choice(available) for _ in range(k)]
+        name_i = "g{}".format(i)
+        c.add_gate(name_i, gtype, fanins)
+        available.append(name_i)
+    gate_nets = [g for g in c.gates]
+    for reg in c.registers.values():
+        reg.data_in = rng.choice(gate_nets)
+    n_outs = max(1, min(3, len(gate_nets)))
+    for net in rng.sample(gate_nets, n_outs):
+        c.add_output(net)
+    c._topo_cache = None
+    return c.validate()
+
+
+circuit_seeds = st.integers(min_value=0, max_value=10 ** 6)

@@ -1,0 +1,323 @@
+"""AIG tests: construction, conversion, AIGER I/O, fraig SAT sweeping."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetlistError, ParseError
+from repro.netlist import Circuit, GateType, SequentialSimulator, single_eval
+from repro.netlist.aig import (
+    Aig,
+    FALSE,
+    TRUE,
+    dumps_aag,
+    fraig,
+    from_circuit,
+    lit_neg,
+    loads_aag,
+    to_circuit,
+)
+
+from .helpers import circuit_seeds, counter_circuit, random_sequential_circuit, toggle_circuit
+
+
+# --------------------------------------------------------------- basic ops
+
+
+def test_constants_and_literals():
+    assert lit_neg(FALSE) == TRUE
+    assert lit_neg(TRUE) == FALSE
+
+
+def test_and2_rules():
+    aig = Aig()
+    a = aig.add_input("a")
+    b = aig.add_input("b")
+    assert aig.and2(a, FALSE) == FALSE
+    assert aig.and2(a, TRUE) == a
+    assert aig.and2(a, a) == a
+    assert aig.and2(a, lit_neg(a)) == FALSE
+    # Structural hashing: same AND created once, argument order irrelevant.
+    g1 = aig.and2(a, b)
+    g2 = aig.and2(b, a)
+    assert g1 == g2
+    assert aig.num_ands == 1
+
+
+def test_or_xor_mux_semantics():
+    aig = Aig()
+    a = aig.add_input("a")
+    b = aig.add_input("b")
+    s = aig.add_input("s")
+    o = aig.or2(a, b)
+    x = aig.xor2(a, b)
+    m = aig.mux(s, a, b)
+    av, bv, sv = (lit := None), None, None  # readability only
+    for va, vb, vs in itertools.product([0, 1], repeat=3):
+        env = {1: va, 2: vb, 3: vs}
+        _, lit_value = aig.simulate(env, width=1)
+        assert lit_value(o) == (va | vb)
+        assert lit_value(x) == (va ^ vb)
+        assert lit_value(m) == (va if vs else vb)
+
+
+def test_and_many():
+    aig = Aig()
+    lits = [aig.add_input("i{}".format(k)) for k in range(5)]
+    conj = aig.and_many(lits)
+    env_all = {v: 1 for v in aig.inputs}
+    _, lit_value = aig.simulate(env_all, width=1)
+    assert lit_value(conj) == 1
+    env_one = dict(env_all)
+    env_one[aig.inputs[2]] = 0
+    _, lit_value = aig.simulate(env_one, width=1)
+    assert lit_value(conj) == 0
+    assert aig.and_many([]) == TRUE
+
+
+def test_latch_api():
+    aig = Aig()
+    x = aig.add_input("x")
+    q = aig.add_latch(init=True, name="q")
+    aig.set_latch_next(q, x)
+    aig.add_output(q)
+    assert aig.latches[0][1] == x
+    assert aig.latches[0][2] is True
+    with pytest.raises(NetlistError):
+        aig.set_latch_next(x, q)
+
+
+def test_cleanup_drops_dangling():
+    aig = Aig()
+    a = aig.add_input("a")
+    b = aig.add_input("b")
+    keep = aig.and2(a, b)
+    aig.and2(a, lit_neg(b))  # dangling
+    aig.add_output(keep)
+    dropped = aig.cleanup()
+    assert dropped == 1
+    assert aig.num_ands == 1
+
+
+# --------------------------------------------------------------- conversion
+
+
+@settings(max_examples=30, deadline=None)
+@given(circuit_seeds)
+def test_circuit_aig_round_trip(seed):
+    circuit = random_sequential_circuit(seed)
+    aig, lit_of = from_circuit(circuit)
+    back = to_circuit(aig, name=circuit.name)
+    sim_a = SequentialSimulator(circuit, width=32, seed=6)
+    sim_b = SequentialSimulator(back, width=32, seed=6)
+    sig_a = sim_a.run(10)
+    sig_b = sim_b.run(10)
+    for out_a, out_b in zip(circuit.outputs, back.outputs):
+        assert sig_a[out_a] == sig_b[out_b]
+
+
+def test_from_circuit_gate_types():
+    c = Circuit("all_gates")
+    c.add_input("a")
+    c.add_input("b")
+    for gtype in (GateType.AND, GateType.OR, GateType.NAND, GateType.NOR,
+                  GateType.XOR, GateType.XNOR):
+        c.add_gate("g_{}".format(gtype.value), gtype, ["a", "b"])
+        c.add_output("g_{}".format(gtype.value))
+    c.add_gate("g_not", GateType.NOT, ["a"])
+    c.add_output("g_not")
+    c.add_gate("g_c1", GateType.CONST1, [])
+    c.add_output("g_c1")
+    aig, lit_of = from_circuit(c)
+    for va in (False, True):
+        for vb in (False, True):
+            expected = single_eval(c, {"a": va, "b": vb}, {})
+            env = {aig.inputs[0]: int(va), aig.inputs[1]: int(vb)}
+            _, lit_value = aig.simulate(env, width=1)
+            for net in c.outputs:
+                assert bool(lit_value(lit_of[net])) == expected[net], net
+
+
+def test_structural_sharing_across_gates():
+    c = Circuit("share")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("g1", GateType.AND, ["a", "b"])
+    c.add_gate("g2", GateType.NAND, ["a", "b"])  # complement: same node
+    c.add_output("g1")
+    c.add_output("g2")
+    aig, lit_of = from_circuit(c)
+    assert aig.num_ands == 1
+    assert lit_of["g2"] == lit_neg(lit_of["g1"])
+
+
+# --------------------------------------------------------------- AIGER I/O
+
+
+def test_aag_round_trip_semantics():
+    circuit = counter_circuit(3)
+    aig, _ = from_circuit(circuit)
+    text = dumps_aag(aig)
+    assert text.startswith("aag ")
+    again = loads_aag(text)
+    assert again.num_ands == aig.num_ands
+    assert len(again.latches) == len(aig.latches)
+    back = to_circuit(again)
+    sim_a = SequentialSimulator(circuit, width=16, seed=3)
+    sim_b = SequentialSimulator(back, width=16, seed=3)
+    sig_a = sim_a.run(10)
+    sig_b = sim_b.run(10)
+    assert sig_a[circuit.outputs[0]] == sig_b[back.outputs[0]]
+
+
+def test_aag_symbol_table():
+    aig = Aig()
+    aig.add_input("alpha")
+    q = aig.add_latch(init=True, name="beta")
+    aig.set_latch_next(q, TRUE)
+    aig.add_output(q)
+    text = dumps_aag(aig)
+    assert "i0 alpha" in text
+    assert "l0 beta" in text
+    again = loads_aag(text)
+    assert again.names[again.inputs[0]] == "alpha"
+    assert again.latches[0][2] is True
+
+
+def test_aag_parse_errors():
+    with pytest.raises(ParseError):
+        loads_aag("not an aig")
+    with pytest.raises(ParseError):
+        loads_aag("aag 1 1\n")
+    with pytest.raises(ParseError):
+        loads_aag("aag 1 1 0 0 0\n3\n")  # negated input
+
+
+def test_aag_file_io(tmp_path):
+    from repro.netlist.aig import dump_aag, load_aag
+
+    circuit = toggle_circuit()
+    aig, _ = from_circuit(circuit)
+    path = tmp_path / "toggle.aag"
+    dump_aag(aig, path)
+    again = load_aag(path)
+    assert again.num_ands == aig.num_ands
+
+
+# --------------------------------------------------------------- fraig
+
+
+def comb_circuit(seed, n_gates=14):
+    return random_sequential_circuit(seed, n_inputs=4, n_regs=0,
+                                     n_gates=n_gates)
+
+
+def assert_aig_equiv(aig_a, aig_b, n_inputs, rounds=64):
+    import random as pyrandom
+
+    rng = pyrandom.Random(9)
+    env_a = {v: rng.getrandbits(rounds) for v in aig_a.inputs}
+    env_b = dict(zip(aig_b.inputs, (env_a[v] for v in aig_a.inputs)))
+    _, lv_a = aig_a.simulate(env_a, width=rounds)
+    _, lv_b = aig_b.simulate(env_b, width=rounds)
+    for la, lb in zip(aig_a.outputs, aig_b.outputs):
+        assert lv_a(la) == lv_b(lb)
+
+
+@settings(max_examples=20, deadline=None)
+@given(circuit_seeds)
+def test_fraig_preserves_outputs(seed):
+    circuit = comb_circuit(seed)
+    aig, _ = from_circuit(circuit)
+    reduced, lit_map = fraig(aig)
+    assert_aig_equiv(aig, reduced, len(aig.inputs))
+    assert reduced.num_ands <= aig.num_ands
+
+
+def test_fraig_merges_functionally_equal_nodes():
+    c = Circuit("dupfn")
+    c.add_input("a")
+    c.add_input("b")
+    # Two structurally different, functionally equal computations of a&b.
+    c.add_gate("g1", GateType.AND, ["a", "b"])
+    c.add_gate("na", GateType.NOT, ["a"])
+    c.add_gate("nb", GateType.NOT, ["b"])
+    c.add_gate("g2", GateType.NOR, ["na", "nb"])
+    c.add_gate("o", GateType.XOR, ["g1", "g2"])  # constant 0
+    c.add_output("o")
+    aig, _ = from_circuit(c)
+    reduced, _ = fraig(aig)
+    # The output collapses to the constant: no AND nodes remain.
+    assert reduced.outputs[0] in (FALSE, TRUE)
+    assert reduced.outputs[0] == FALSE
+    assert reduced.num_ands == 0
+
+
+def test_fraig_detects_antivalence():
+    c = Circuit("anti")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("g1", GateType.NAND, ["a", "b"])
+    c.add_gate("g2", GateType.AND, ["a", "b"])
+    c.add_gate("o", GateType.XNOR, ["g1", "g2"])  # constant 0
+    c.add_output("o")
+    aig, _ = from_circuit(c)
+    reduced, _ = fraig(aig)
+    assert reduced.outputs[0] == FALSE
+
+
+def test_fraig_node_equal_to_input():
+    c = Circuit("redund")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("ab", GateType.AND, ["a", "b"])
+    c.add_gate("a_or_ab", GateType.OR, ["a", "ab"])  # absorption: == a
+    c.add_output("a_or_ab")
+    aig, _ = from_circuit(c)
+    reduced, _ = fraig(aig)
+    assert reduced.num_ands == 0
+    assert reduced.outputs[0] == 2 * reduced.inputs[0]
+
+
+def test_fraig_rejects_sequential():
+    aig, _ = from_circuit(toggle_circuit())
+    with pytest.raises(NetlistError):
+        fraig(aig)
+
+
+def test_fraig_as_cec():
+    """fraig is a combinational equivalence checker: feed it a miter of an
+    optimized circuit against the original and the output must fold to 0."""
+    from repro.transform import optimize
+
+    spec = comb_circuit(5)
+    impl = optimize(spec, level=2, seed=77)
+    aig = Aig()
+    lit_of = {}
+    for net in spec.inputs:
+        lit_of[net] = aig.add_input(name=net)
+    spec_aig, spec_lits = from_circuit(spec)
+    impl_aig, impl_lits = from_circuit(impl)
+    # Rebuild both inside one AIG over shared inputs.
+    def embed(circuit):
+        from repro.netlist.aig import _gate_to_aig
+
+        local = dict(lit_of)
+        for name in circuit.topo_order():
+            gate = circuit.gates[name]
+            local[name] = _gate_to_aig(
+                aig, gate.gtype, [local[f] for f in gate.fanins]
+            )
+        return local
+
+    spec_map = embed(spec)
+    impl_map = embed(impl)
+    diff_lits = [
+        aig.xor2(spec_map[a], impl_map[b])
+        for a, b in zip(spec.outputs, impl.outputs)
+    ]
+    miter = lit_neg(aig.and_many([lit_neg(d) for d in diff_lits]))
+    aig.add_output(miter)
+    reduced, _ = fraig(aig)
+    assert reduced.outputs[0] == FALSE

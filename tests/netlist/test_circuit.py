@@ -1,0 +1,179 @@
+"""Unit tests for the circuit IR."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import Circuit, GateType, eval_gate
+
+from .helpers import counter_circuit, toggle_circuit
+
+
+def test_build_and_stats():
+    c = toggle_circuit()
+    stats = c.stats()
+    assert stats["inputs"] == 1
+    assert stats["outputs"] == 1
+    assert stats["registers"] == 1
+    assert stats["gates"] == 2
+
+
+def test_duplicate_net_rejected():
+    c = Circuit()
+    c.add_input("a")
+    with pytest.raises(NetlistError):
+        c.add_input("a")
+    with pytest.raises(NetlistError):
+        c.add_gate("a", GateType.NOT, ["a"])
+    c.add_gate("g", GateType.NOT, ["a"])
+    with pytest.raises(NetlistError):
+        c.add_register("g", "a")
+
+
+def test_arity_checking():
+    c = Circuit()
+    c.add_input("a")
+    with pytest.raises(NetlistError):
+        c.add_gate("g", GateType.NOT, ["a", "a"])
+    with pytest.raises(NetlistError):
+        c.add_gate("g", GateType.XOR, ["a"])
+    with pytest.raises(NetlistError):
+        c.add_gate("g", GateType.CONST0, ["a"])
+
+
+def test_gate_type_coercion_from_string():
+    c = Circuit()
+    c.add_input("a")
+    c.add_gate("g", "not", ["a"])
+    assert c.gates["g"].gtype is GateType.NOT
+
+
+def test_combinational_cycle_detected():
+    c = Circuit()
+    c.add_input("a")
+    c.add_gate("g1", GateType.AND, ["a", "g2"])
+    c.add_gate("g2", GateType.NOT, ["g1"])
+    with pytest.raises(NetlistError, match="cycle"):
+        c.topo_order()
+
+
+def test_cycle_through_register_is_fine():
+    c = toggle_circuit()
+    assert c.topo_order()  # xor feeds register which feeds xor: sequential loop
+
+
+def test_undefined_fanin_detected():
+    c = Circuit()
+    c.add_gate("g", GateType.NOT, ["ghost"])
+    with pytest.raises(NetlistError, match="undefined"):
+        c.validate()
+
+
+def test_undefined_output_detected():
+    c = Circuit()
+    c.add_input("a")
+    c.add_output("ghost")
+    with pytest.raises(NetlistError, match="output"):
+        c.validate()
+
+
+def test_undefined_register_input_detected():
+    c = Circuit()
+    c.add_register("r", "ghost")
+    with pytest.raises(NetlistError, match="register"):
+        c.validate()
+
+
+def test_topo_order_respects_dependencies():
+    c = counter_circuit(4)
+    order = c.topo_order()
+    pos = {name: i for i, name in enumerate(order)}
+    for name in order:
+        for fanin in c.gates[name].fanins:
+            if fanin in c.gates:
+                assert pos[fanin] < pos[name]
+
+
+def test_initial_state():
+    c = Circuit()
+    c.add_input("a")
+    c.add_register("r0", "a", init=False)
+    c.add_register("r1", "a", init=True)
+    assert c.initial_state() == {"r0": False, "r1": True}
+
+
+def test_copy_is_deep():
+    c = toggle_circuit()
+    dup = c.copy()
+    dup.gates["d"].fanins[0] = "q"
+    assert c.gates["d"].fanins[0] == "en"
+    dup.registers["q"].init = True
+    assert c.registers["q"].init is False
+
+
+def test_renamed_keeps_shared_inputs():
+    c = toggle_circuit()
+    r = c.renamed("p.")
+    assert r.inputs == ["en"]
+    assert "p.q" in r.registers
+    assert r.registers["p.q"].data_in == "p.d"
+    assert r.outputs == ["p.out"]
+    r2 = c.renamed("p.", keep_inputs=False)
+    assert r2.inputs == ["p.en"]
+
+
+def test_replace_fanin():
+    c = toggle_circuit()
+    c.add_gate("d2", GateType.XOR, ["en", "q"])
+    c.replace_fanin("d", "d2")
+    assert c.registers["q"].data_in == "d2"
+
+
+def test_fresh_name():
+    c = toggle_circuit()
+    assert c.fresh_name("new") == "new"
+    n1 = c.fresh_name("q")
+    assert n1 != "q" and not c.is_defined(n1)
+
+
+def test_fanout_map():
+    c = toggle_circuit()
+    fanout = c.fanout_map()
+    assert set(fanout["q"]) == {"d", "out"}
+    assert fanout["d"] == ["q"]
+
+
+def test_driver_kind():
+    c = toggle_circuit()
+    assert c.driver_kind("en") == "input"
+    assert c.driver_kind("q") == "register"
+    assert c.driver_kind("d") == "gate"
+    with pytest.raises(NetlistError):
+        c.driver_kind("ghost")
+
+
+def test_signals_covers_everything():
+    c = counter_circuit(3)
+    signals = c.signals()
+    assert set(signals) == set(c.inputs) | set(c.registers) | set(c.gates)
+
+
+@pytest.mark.parametrize(
+    "gtype,values,expected",
+    [
+        (GateType.AND, [True, True, False], False),
+        (GateType.AND, [True, True], True),
+        (GateType.OR, [False, False], False),
+        (GateType.OR, [False, True], True),
+        (GateType.NAND, [True, True], False),
+        (GateType.NOR, [False, False], True),
+        (GateType.XOR, [True, True, True], True),
+        (GateType.XOR, [True, True], False),
+        (GateType.XNOR, [True, False], False),
+        (GateType.NOT, [True], False),
+        (GateType.BUF, [True], True),
+        (GateType.CONST0, [], False),
+        (GateType.CONST1, [], True),
+    ],
+)
+def test_eval_gate(gtype, values, expected):
+    assert eval_gate(gtype, values) is expected

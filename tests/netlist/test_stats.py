@@ -1,0 +1,101 @@
+"""Circuit statistics and graph-structure analysis tests."""
+
+from repro.netlist import Circuit, GateType
+from repro.netlist.stats import (
+    circuit_report,
+    fanout_histogram,
+    feedback_register_set,
+    gate_histogram,
+    is_pipeline,
+    logic_depth,
+    register_digraph,
+    register_sccs,
+    structural_similarity,
+)
+from repro.transform import synthesize
+
+from .helpers import counter_circuit, random_sequential_circuit, toggle_circuit
+
+
+def test_gate_histogram():
+    c = counter_circuit(3)
+    hist = gate_histogram(c)
+    assert hist["XOR"] == 3
+    assert hist["AND"] == 2
+
+
+def test_logic_depth():
+    c = counter_circuit(4)
+    # Carry chain: c0..c2 then d3 -> depth 4.
+    assert logic_depth(c) == 4
+    assert logic_depth(toggle_circuit()) == 1
+
+
+def test_fanout_histogram():
+    c = toggle_circuit()
+    hist = fanout_histogram(c)
+    assert hist[2] >= 1  # q feeds d and out
+
+
+def test_register_digraph_counter():
+    c = counter_circuit(3)
+    graph = register_digraph(c)
+    assert graph.has_edge("q0", "q2")
+    assert graph.has_edge("q0", "q0")  # self-dependency (toggle)
+    assert not graph.has_edge("q2", "q0")
+
+
+def test_register_sccs():
+    c = counter_circuit(3)
+    sccs = register_sccs(c)
+    # A counter has only self-loops: three singleton SCCs.
+    assert len(sccs) == 3
+    assert all(len(s) == 1 for s in sccs)
+    # A ring: one SCC of size 3.
+    ring = Circuit("ring")
+    ring.add_register("a", "c", init=True)
+    ring.add_register("b", "a", init=False)
+    ring.add_register("c", "b", init=False)
+    ring.add_output("a")
+    assert register_sccs(ring)[0] == {"a", "b", "c"}
+
+
+def test_feedback_register_set():
+    # Pure pipeline: no feedback at all.
+    pipe = Circuit("pipe")
+    pipe.add_input("x")
+    pipe.add_register("s1", "x", init=False)
+    pipe.add_register("s2", "s1", init=False)
+    pipe.add_output("s2")
+    assert feedback_register_set(pipe) == set()
+    assert is_pipeline(pipe)
+    # Counter: every bit toggles on itself.
+    c = counter_circuit(3)
+    assert len(feedback_register_set(c)) == 3
+    assert not is_pipeline(c)
+    # Ring: one removal suffices.
+    ring = Circuit("ring")
+    ring.add_register("a", "c", init=True)
+    ring.add_register("b", "a", init=False)
+    ring.add_register("c", "b", init=False)
+    ring.add_output("a")
+    assert len(feedback_register_set(ring)) == 1
+
+
+def test_circuit_report_keys():
+    report = circuit_report(counter_circuit(4))
+    assert report["registers"] == 4
+    assert report["depth"] == 4
+    assert report["sequential_sccs"] == 4
+    assert report["feedback_registers"] == 4
+
+
+def test_structural_similarity_drops_after_synthesis():
+    spec = random_sequential_circuit(12, n_regs=4, n_gates=14)
+    impl = synthesize(spec, retime_moves=3, optimize_level=2, seed=5)
+    sim = structural_similarity(spec, impl)
+    identical = structural_similarity(spec, spec.copy())
+    assert identical["gate_histogram_jaccard"] == 1.0
+    assert identical["shared_net_names"] > 0
+    assert sim["shared_net_names"] == 0  # obfuscation killed all names
+    assert 0.0 <= sim["gate_histogram_jaccard"] <= 1.0

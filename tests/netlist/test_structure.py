@@ -1,0 +1,243 @@
+"""Tests for strash, cones, product machine and BDD building."""
+
+import pytest
+
+from hypothesis import given, settings
+
+from repro.bdd import BddManager
+from repro.errors import VerificationError
+from repro.netlist import (
+    Circuit,
+    GateType,
+    SequentialSimulator,
+    build_bdds,
+    build_product,
+    single_eval,
+    strash,
+)
+from repro.netlist.cones import (
+    combinational_support,
+    level_map,
+    output_cone_sizes,
+    register_blocks,
+    register_dependency_graph,
+    static_variable_order,
+    transitive_fanin,
+)
+
+from .helpers import circuit_seeds, counter_circuit, random_sequential_circuit, toggle_circuit
+
+
+# ----------------------------------------------------------------- strash
+
+
+def test_strash_merges_duplicates():
+    c = Circuit("dup")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("g1", GateType.AND, ["a", "b"])
+    c.add_gate("g2", GateType.AND, ["b", "a"])  # commutative duplicate
+    c.add_gate("o", GateType.OR, ["g1", "g2"])
+    c.add_output("o")
+    hashed, rep = strash(c)
+    assert rep["g1"] == rep["g2"]
+    assert hashed.num_gates == 2  # one AND + the OR
+
+
+def test_strash_collapses_buffers():
+    c = Circuit("bufs")
+    c.add_input("a")
+    c.add_gate("b1", GateType.BUF, ["a"])
+    c.add_gate("b2", GateType.BUF, ["b1"])
+    c.add_gate("o", GateType.NOT, ["b2"])
+    c.add_output("o")
+    hashed, rep = strash(c)
+    assert rep["b2"] == "a"
+    assert hashed.gates["o"].fanins == ["a"]
+    assert hashed.num_gates == 1
+
+
+def test_strash_preserves_registers():
+    c = toggle_circuit()
+    hashed, rep = strash(c)
+    assert hashed.num_registers == 1
+    assert hashed.registers["q"].data_in == rep["d"]
+
+
+def test_strash_merge_registers():
+    c = Circuit("regdup")
+    c.add_input("a")
+    c.add_register("r1", "a", init=False)
+    c.add_register("r2", "a", init=False)
+    c.add_register("r3", "a", init=True)  # different init: kept
+    c.add_gate("o", GateType.XOR, ["r1", "r2"])
+    c.add_gate("o2", GateType.XOR, ["r1", "r3"])
+    c.add_output("o")
+    c.add_output("o2")
+    merged, rep = strash(c, merge_registers=True)
+    assert merged.num_registers == 2
+    assert rep["r2"] == rep["r1"]
+    assert rep["r3"] != rep["r1"]
+
+
+@settings(max_examples=30, deadline=None)
+@given(circuit_seeds)
+def test_strash_preserves_behavior(seed):
+    c = random_sequential_circuit(seed)
+    hashed, rep = strash(c)
+    sim_a = SequentialSimulator(c, width=16, seed=8).run(5)
+    sim_b = SequentialSimulator(hashed, width=16, seed=8).run(5)
+    for out_a, out_b in zip(c.outputs, hashed.outputs):
+        assert sim_a[out_a] == sim_b[out_b]
+
+
+# ----------------------------------------------------------------- cones
+
+
+def test_transitive_fanin_stops_at_registers():
+    c = toggle_circuit()
+    cone = transitive_fanin(c, "d")
+    assert cone == {"d", "en", "q"}
+    deep = transitive_fanin(c, "d", stop_at_registers=False)
+    assert deep == {"d", "en", "q"}  # sequential loop closes on itself
+
+
+def test_combinational_support():
+    c = counter_circuit(3)
+    assert combinational_support(c, "d0") == {"en", "q0"}
+    assert combinational_support(c, "d2") == {"en", "q0", "q1", "q2"}
+
+
+def test_level_map():
+    c = counter_circuit(3)
+    levels = level_map(c)
+    assert levels["en"] == 0
+    assert levels["d0"] == 1
+    assert levels["d2"] > levels["d1"]
+
+
+def test_static_variable_order_covers_all_sources():
+    c = counter_circuit(4)
+    order = static_variable_order(c)
+    assert sorted(order) == sorted(list(c.inputs) + list(c.registers))
+    pinned = static_variable_order(c, extra_first=["q2"])
+    assert pinned[0] == "q2"
+
+
+def test_output_cone_sizes():
+    c = counter_circuit(3)
+    sizes = output_cone_sizes(c)
+    assert sizes["q2"] == 1
+
+
+def test_register_dependency_graph():
+    c = counter_circuit(3)
+    graph = register_dependency_graph(c)
+    assert graph["q0"] == {"q0"}
+    assert graph["q2"] == {"q0", "q1", "q2"}
+
+
+def test_register_blocks_partition():
+    c = random_sequential_circuit(3, n_regs=6, n_gates=20)
+    blocks = register_blocks(c, max_block=3)
+    flattened = [r for block in blocks for r in block]
+    assert sorted(flattened) == sorted(c.registers)
+    assert all(len(block) <= 3 for block in blocks)
+
+
+# ----------------------------------------------------------------- product
+
+
+def test_build_product_by_name():
+    a = toggle_circuit()
+    b = toggle_circuit()
+    product = build_product(a, b)
+    assert len(product.output_pairs) == 1
+    s_out, i_out = product.output_pairs[0]
+    assert s_out.startswith("s.")
+    assert i_out.startswith("i.")
+    assert product.circuit.num_registers == 2
+    assert product.inputs == ["en"]
+    assert product.origin(s_out) == "spec"
+    assert product.origin(i_out) == "impl"
+    assert product.origin("en") == "input"
+
+
+def test_build_product_by_order():
+    a = toggle_circuit()
+    b = toggle_circuit().renamed("z_", keep_inputs=False)
+    product = build_product(a, b, match_inputs="order", match_outputs="order")
+    assert product.inputs == ["en"]
+    values = single_eval(
+        product.circuit,
+        {"en": True},
+        {name: reg.init for name, reg in product.registers.items()},
+    )
+    s_out, i_out = product.output_pairs[0]
+    assert values[s_out] == values[i_out]
+
+
+def test_build_product_interface_mismatch():
+    a = toggle_circuit()
+    b = toggle_circuit()
+    b.add_input("extra")
+    with pytest.raises(VerificationError):
+        build_product(a, b)
+    c = toggle_circuit()
+    c.outputs.append("d")
+    with pytest.raises(VerificationError):
+        build_product(a, c)
+
+
+def test_product_behaviour_matches_components():
+    spec = random_sequential_circuit(17)
+    impl = random_sequential_circuit(17)  # identical circuit
+    product = build_product(spec, impl)
+    sim = SequentialSimulator(product.circuit, width=16, seed=5)
+    sim.run(6)
+    for s_net, i_net in product.output_pairs:
+        assert sim.signatures[s_net] == sim.signatures[i_net]
+
+
+# ----------------------------------------------------------------- bddnet
+
+
+def _leaves_for(circuit, mgr):
+    leaves = {}
+    for net in list(circuit.inputs) + list(circuit.registers):
+        leaves[net] = mgr.add_var(net)
+    return leaves
+
+
+@settings(max_examples=30, deadline=None)
+@given(circuit_seeds)
+def test_build_bdds_matches_simulation(seed):
+    import random as pyrandom
+
+    circuit = random_sequential_circuit(seed)
+    mgr = BddManager()
+    leaves = _leaves_for(circuit, mgr)
+    values = build_bdds(circuit, mgr, leaves)
+    rng = pyrandom.Random(seed + 1)
+    for _ in range(8):
+        env_bool = {
+            net: rng.random() < 0.5
+            for net in list(circuit.inputs) + list(circuit.registers)
+        }
+        expected = single_eval(
+            circuit,
+            {k: env_bool[k] for k in circuit.inputs},
+            {k: env_bool[k] for k in circuit.registers},
+        )
+        bdd_env = {mgr.var_of(leaves[net]): env_bool[net] for net in leaves}
+        for net, edge in values.items():
+            assert mgr.evaluate(edge, bdd_env) == expected[net], net
+
+
+def test_build_bdds_partial_cone():
+    circuit = counter_circuit(3)
+    mgr = BddManager()
+    leaves = _leaves_for(circuit, mgr)
+    values = build_bdds(circuit, mgr, leaves, nets=["d0"])
+    assert "d0" in values
+    assert "d2" not in values

@@ -1,0 +1,48 @@
+"""Sequential depth analysis tests."""
+
+from repro.reach.depth import (
+    depth_report,
+    sequential_depth_explicit,
+    sequential_depth_symbolic,
+)
+
+from ..netlist.helpers import counter_circuit, toggle_circuit
+
+
+def test_counter_depth_is_two_to_the_bits_minus_one():
+    c = counter_circuit(4)
+    assert sequential_depth_explicit(c) == 15
+    depth, exact = sequential_depth_symbolic(c)
+    assert (depth, exact) == (15, True)
+
+
+def test_toggle_depth():
+    c = toggle_circuit()
+    assert sequential_depth_explicit(c) == 1
+    depth, exact = sequential_depth_symbolic(c)
+    assert (depth, exact) == (1, True)
+
+
+def test_symbolic_budget_gives_lower_bound():
+    c = counter_circuit(6)
+    depth, exact = sequential_depth_symbolic(c, max_iterations=10)
+    assert depth == 10
+    assert exact is False
+
+
+def test_depth_report():
+    c = counter_circuit(3)
+    report = depth_report(c)
+    assert report["registers"] == 3
+    assert report["depth"] == 7
+    assert report["depth_exact"] is True
+
+
+def test_suite_deep_rows_are_actually_deep():
+    """The generated s208-family rows must have the deep state space that
+    defeats traversal in Table 1."""
+    from repro.circuits import row_by_name
+
+    spec = row_by_name("s208").spec()
+    depth, exact = sequential_depth_symbolic(spec, max_iterations=300)
+    assert depth >= 255  # the 8-bit fraction counter dominates

@@ -1,0 +1,137 @@
+"""Register correspondence and functional dependency tests."""
+
+from repro.bdd import BddManager
+from repro.netlist import Circuit, GateType, build_product
+from repro.reach import (
+    TransitionSystem,
+    functional_dependencies,
+    reduce_by_register_correspondence,
+    register_correspondence,
+    symbolic_reachability,
+)
+from repro.reach.explicit import explicit_check_equivalence
+
+from ..netlist.helpers import counter_circuit, random_sequential_circuit, toggle_circuit
+
+
+def test_self_product_registers_all_correspond():
+    c = toggle_circuit()
+    product = build_product(c, c.copy())
+    mapping, _ = register_correspondence(product.circuit)
+    reps = {rep for rep, inv in mapping.values()}
+    assert len(reps) == 1
+    assert all(not inv for _, inv in mapping.values())
+
+
+def test_antivalent_registers_detected():
+    c = Circuit("anti")
+    c.add_input("x")
+    c.add_register("p", "x", init=False)
+    c.add_gate("nx", GateType.NOT, ["x"])
+    c.add_register("q", "nx", init=True)  # q == NOT p in every reachable state
+    c.add_gate("o", GateType.XOR, ["p", "q"])
+    c.add_output("o")
+    mapping, _ = register_correspondence(c)
+    rep_p, inv_p = mapping["p"]
+    rep_q, inv_q = mapping["q"]
+    assert rep_p == rep_q
+    assert inv_p != inv_q
+
+
+def test_unrelated_registers_not_merged():
+    c = Circuit("sep")
+    c.add_input("x")
+    c.add_input("y")
+    c.add_register("p", "x", init=False)
+    c.add_register("q", "y", init=False)
+    c.add_gate("o", GateType.AND, ["p", "q"])
+    c.add_output("o")
+    mapping, _ = register_correspondence(c)
+    assert mapping["p"][0] != mapping["q"][0]
+
+
+def test_initially_equal_but_diverging_split():
+    c = Circuit("div")
+    c.add_input("x")
+    c.add_register("p", "x", init=False)
+    c.add_gate("nx", GateType.NOT, ["x"])
+    c.add_register("q", "nx", init=False)  # same init, different update
+    c.add_gate("o", GateType.OR, ["p", "q"])
+    c.add_output("o")
+    mapping, _ = register_correspondence(c)
+    assert mapping["p"][0] != mapping["q"][0]
+
+
+def test_correspondence_needs_fixpoint_iterations():
+    # Two shift chains fed by the same input: pairwise equivalence of the
+    # deeper stages depends on equivalence of the earlier stages.
+    c = Circuit("chains")
+    c.add_input("x")
+    c.add_register("a1", "x", init=False)
+    c.add_register("a2", "a1", init=False)
+    c.add_register("b1", "x", init=False)
+    c.add_register("b2", "b1", init=False)
+    c.add_gate("o", GateType.XOR, ["a2", "b2"])
+    c.add_output("o")
+    mapping, _ = register_correspondence(c)
+    assert mapping["a1"][0] == mapping["b1"][0]
+    assert mapping["a2"][0] == mapping["b2"][0]
+    assert mapping["a1"][0] != mapping["a2"][0]
+
+
+def test_reduce_by_register_correspondence_halves_self_product():
+    c = counter_circuit(3)
+    product = build_product(c, c.copy(), match_outputs="order")
+    reduced, merged, _ = reduce_by_register_correspondence(product)
+    assert merged == 3
+    assert reduced.num_registers == 3
+    # Reduction preserves the equivalence verdict.
+    oracle = explicit_check_equivalence(product)
+    assert oracle.proved
+
+
+def test_reduce_keeps_behavior_of_outputs():
+    c = random_sequential_circuit(9, n_inputs=2, n_regs=3, n_gates=8)
+    product = build_product(c, c.copy(), match_outputs="order")
+    reduced, merged, _ = reduce_by_register_correspondence(product)
+    assert merged >= 3
+    from repro.netlist import SequentialSimulator
+
+    sim_a = SequentialSimulator(product.circuit, width=32, seed=7)
+    sim_b = SequentialSimulator(reduced, width=32, seed=7)
+    sig_a = sim_a.run(8)
+    sig_b = sim_b.run(8)
+    for s_out, i_out in product.output_pairs:
+        assert sig_a[s_out] == sig_a[i_out]
+        assert sig_b[s_out] == sig_b[i_out]
+
+
+def test_functional_dependencies_on_reached_set():
+    # b always equals a; c counts independently.
+    c = Circuit("dep")
+    c.add_input("x")
+    c.add_register("a", "x", init=False)
+    c.add_register("b", "x", init=False)
+    c.add_gate("o", GateType.XNOR, ["a", "b"])
+    c.add_output("o")
+    ts = TransitionSystem(c)
+    reached, _, _ = symbolic_reachability(ts)
+    deps = functional_dependencies(ts.manager, reached,
+                                   ts.state_var_ids())
+    # In the reached set {00, 11} each variable determines the other.
+    assert set(deps) == ts.state_var_ids()
+    mgr = ts.manager
+    a_var = ts.cur_id["a"]
+    b_var = ts.cur_id["b"]
+    assert deps[a_var] == mgr.var_edge(b_var)
+    assert deps[b_var] == mgr.var_edge(a_var)
+
+
+def test_functional_dependencies_none_when_independent():
+    mgr = BddManager()
+    a = mgr.add_var("a")
+    b = mgr.add_var("b")
+    full = mgr.true  # all four states reachable
+    deps = functional_dependencies(mgr, full,
+                                   {mgr.var_of(a), mgr.var_of(b)})
+    assert deps == {}

@@ -1,0 +1,182 @@
+"""Cross-validation of symbolic reachability against the explicit oracle."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ResourceBudgetExceeded, VerificationError
+from repro.netlist import Circuit, GateType, build_product
+from repro.reach import (
+    TransitionSystem,
+    approximate_reachable,
+    explicit_reachable,
+    symbolic_reachability,
+)
+
+from ..netlist.helpers import counter_circuit, random_sequential_circuit, toggle_circuit
+
+
+def symbolic_state_set(circuit, ts=None):
+    """(manager, reached_bdd, ts) after full symbolic reachability."""
+    if ts is None:
+        ts = TransitionSystem(circuit)
+    reached, rings, iterations = symbolic_reachability(ts)
+    return ts, reached, iterations
+
+
+def states_of_bdd(ts, reached):
+    """Enumerate the state tuples of a reached-set BDD (small circuits)."""
+    import itertools
+
+    mgr = ts.manager
+    regs = list(ts.circuit.registers)
+    result = set()
+    for bits in itertools.product([False, True], repeat=len(regs)):
+        env = {ts.cur_id[r]: b for r, b in zip(regs, bits)}
+        # Fill remaining variables arbitrarily (reached depends only on cur).
+        full_env = {v: False for v in range(mgr.num_vars)}
+        full_env.update(env)
+        if mgr.evaluate(reached, full_env):
+            result.add(bits)
+    return result
+
+
+def test_counter_reachable_states_exact():
+    c = counter_circuit(3)
+    explicit, depth = explicit_reachable(c)
+    assert len(explicit) == 8
+    ts, reached, iterations = symbolic_state_set(c)
+    assert states_of_bdd(ts, reached) == explicit
+    # BFS depth: with enable input, each step adds one new count value.
+    assert iterations == 8
+
+
+def test_toggle_reachable():
+    c = toggle_circuit()
+    explicit, _ = explicit_reachable(c)
+    assert explicit == {(False,), (True,)}
+    ts, reached, _ = symbolic_state_set(c)
+    assert states_of_bdd(ts, reached) == explicit
+
+
+def test_unreachable_state_excluded():
+    # Register pair always loaded with identical values: states 01/10 never.
+    c = Circuit("twin")
+    c.add_input("x")
+    c.add_register("a", "x", init=False)
+    c.add_register("b", "x", init=False)
+    c.add_gate("o", GateType.XNOR, ["a", "b"])
+    c.add_output("o")
+    explicit, _ = explicit_reachable(c)
+    assert explicit == {(False, False), (True, True)}
+    ts, reached, _ = symbolic_state_set(c)
+    assert states_of_bdd(ts, reached) == explicit
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10 ** 6))
+def test_symbolic_matches_explicit_random(seed):
+    circuit = random_sequential_circuit(seed, n_inputs=2, n_regs=4, n_gates=8)
+    explicit, _ = explicit_reachable(circuit)
+    ts, reached, _ = symbolic_state_set(circuit)
+    assert states_of_bdd(ts, reached) == explicit
+
+
+def test_sat_count_of_reached_matches():
+    c = counter_circuit(4)
+    explicit, _ = explicit_reachable(c)
+    ts, reached, _ = symbolic_state_set(c)
+    mgr = ts.manager
+    count = mgr.sat_count(reached) // (2 ** (mgr.num_vars - len(ts.cur_id)))
+    assert count == len(explicit)
+
+
+def test_iteration_budget():
+    c = counter_circuit(6)
+    ts = TransitionSystem(c)
+    with pytest.raises(ResourceBudgetExceeded):
+        symbolic_reachability(ts, max_iterations=3)
+
+
+def test_explicit_budgets():
+    c = counter_circuit(4)
+    with pytest.raises(ResourceBudgetExceeded):
+        explicit_reachable(c, max_states=3)
+    wide = Circuit("wide")
+    for i in range(15):
+        wide.add_input("x{}".format(i))
+    wide.add_gate("o", GateType.OR, ["x0", "x1"])
+    wide.add_output("o")
+    with pytest.raises(VerificationError):
+        explicit_reachable(wide)
+
+
+def test_image_of_initial_state():
+    c = toggle_circuit()
+    ts = TransitionSystem(c)
+    mgr = ts.manager
+    init = ts.initial_states()
+    image = ts.image(init)
+    # From q=0, en arbitrary: next q in {0, 1} -> image is all states.
+    assert image == mgr.true or states_of_bdd(ts, image) == {(False,), (True,)}
+
+
+def test_successor_constraint():
+    c = toggle_circuit()
+    ts = TransitionSystem(c)
+    mgr = ts.manager
+    # Transition into q=1 requires en XOR q = 1.
+    constraint = ts.successor_constraint({"q": True})
+    en = ts.in_id["en"]
+    q = ts.cur_id["q"]
+    assert mgr.evaluate(constraint, {en: True, q: False,
+                                     ts.nxt_id["q"]: False})
+    assert not mgr.evaluate(constraint, {en: False, q: False,
+                                         ts.nxt_id["q"]: False})
+
+
+# ------------------------------------------------------------- approximation
+
+
+def test_approx_is_superset_of_exact():
+    c = Circuit("twin2")
+    c.add_input("x")
+    c.add_register("a", "x", init=False)
+    c.add_register("b", "x", init=False)
+    c.add_register("cnt", "nc", init=False)
+    c.add_gate("nc", GateType.XOR, ["cnt", "a"])
+    c.add_gate("o", GateType.XNOR, ["a", "b"])
+    c.add_output("o")
+    c.add_output("cnt")
+    ts = TransitionSystem(c)
+    mgr = ts.manager
+    exact, _, _ = symbolic_reachability(ts)
+    approx = approximate_reachable(ts, max_block=2)
+    # exact implies approx
+    assert mgr.apply_implies(exact, approx) == mgr.true
+
+
+def test_approx_block_of_full_size_is_exact():
+    c = counter_circuit(3)
+    ts = TransitionSystem(c)
+    mgr = ts.manager
+    exact, _, _ = symbolic_reachability(ts)
+    approx = approximate_reachable(ts, max_block=8)
+    assert approx == exact
+
+
+def test_approx_single_var_blocks_still_superset():
+    c = counter_circuit(3)
+    ts = TransitionSystem(c)
+    mgr = ts.manager
+    exact, _, _ = symbolic_reachability(ts)
+    approx = approximate_reachable(ts, max_block=1)
+    assert mgr.apply_implies(exact, approx) == mgr.true
+
+
+def test_approx_refinement_passes_monotone():
+    c = random_sequential_circuit(5, n_inputs=2, n_regs=5, n_gates=10)
+    ts = TransitionSystem(c)
+    mgr = ts.manager
+    one_pass = approximate_reachable(ts, max_block=2, passes=1)
+    two_pass = approximate_reachable(ts, max_block=2, passes=2)
+    assert mgr.apply_implies(two_pass, one_pass) == mgr.true

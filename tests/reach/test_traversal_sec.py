@@ -1,0 +1,131 @@
+"""Traversal-based SEC vs. the explicit oracle, plus counterexample replay."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import SequentialSimulator, build_product, bit_parallel_eval
+from repro.reach import check_equivalence_traversal, explicit_check_equivalence
+from repro.transform import (
+    inject_distinguishable_fault,
+    optimize,
+    retime,
+    synthesize,
+    xor_reencode,
+)
+
+from ..netlist.helpers import counter_circuit, random_sequential_circuit, toggle_circuit
+
+
+def replay_counterexample(product, trace):
+    """Simulate the product machine along the trace; returns True when some
+    output pair differs at the final frame (the cex is genuine)."""
+    circuit = product.circuit
+    state = {name: reg.init for name, reg in circuit.registers.items()}
+    values = None
+    for frame_inputs in trace.full_sequence():
+        env = {net: int(bool(frame_inputs.get(net, False)))
+               for net in circuit.inputs}
+        env.update({net: int(bool(v)) for net, v in state.items()})
+        values = bit_parallel_eval(circuit, env, 1)
+        state = {
+            name: bool(values[reg.data_in])
+            for name, reg in circuit.registers.items()
+        }
+    return any(
+        values[s_out] != values[i_out]
+        for s_out, i_out in product.output_pairs
+    )
+
+
+def test_identical_circuits_equivalent():
+    c = toggle_circuit()
+    product = build_product(c, c.copy())
+    result = check_equivalence_traversal(product)
+    assert result.proved
+    assert result.iterations >= 1
+    assert result.peak_nodes > 0
+
+
+def test_retimed_counter_equivalent():
+    spec = counter_circuit(4)
+    impl = retime(spec, moves=3, seed=1)
+    product = build_product(spec, impl, match_outputs="order")
+    result = check_equivalence_traversal(product)
+    assert result.proved
+    oracle = explicit_check_equivalence(product)
+    assert oracle.proved
+
+
+def test_mutated_counter_inequivalent_with_replayable_cex():
+    spec = counter_circuit(3)
+    impl, _ = inject_distinguishable_fault(spec, seed=3)
+    product = build_product(spec, impl, match_outputs="order")
+    result = check_equivalence_traversal(product)
+    assert result.refuted
+    assert result.counterexample is not None
+    assert replay_counterexample(product, result.counterexample)
+    oracle = explicit_check_equivalence(product)
+    assert oracle.refuted
+    assert replay_counterexample(product, oracle.counterexample)
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(min_value=0, max_value=10 ** 6))
+def test_traversal_matches_oracle_on_synthesized(seed):
+    spec = random_sequential_circuit(seed, n_inputs=2, n_regs=3, n_gates=8)
+    impl = synthesize(spec, retime_moves=2, optimize_level=2, seed=seed)
+    product = build_product(spec, impl, match_outputs="order")
+    result = check_equivalence_traversal(product)
+    oracle = explicit_check_equivalence(product)
+    assert oracle.proved  # synthesize preserves behaviour by construction
+    assert result.proved
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(min_value=0, max_value=10 ** 6))
+def test_traversal_matches_oracle_on_mutations(seed):
+    spec = random_sequential_circuit(seed, n_inputs=2, n_regs=3, n_gates=8)
+    impl, _ = inject_distinguishable_fault(spec, seed=seed)
+    product = build_product(spec, impl, match_outputs="order")
+    result = check_equivalence_traversal(product)
+    oracle = explicit_check_equivalence(product)
+    assert result.equivalent == oracle.equivalent
+    if result.refuted:
+        assert replay_counterexample(product, result.counterexample)
+
+
+def test_traversal_without_register_correspondence():
+    spec = counter_circuit(3)
+    impl = optimize(spec, level=2, seed=2)
+    product = build_product(spec, impl, match_outputs="order")
+    with_rc = check_equivalence_traversal(product,
+                                          use_register_correspondence=True)
+    without_rc = check_equivalence_traversal(product,
+                                             use_register_correspondence=False)
+    assert with_rc.proved and without_rc.proved
+    assert with_rc.details["register_classes_merged"] > 0
+    assert without_rc.details["register_classes_merged"] == 0
+
+
+def test_traversal_node_budget_abort():
+    spec = counter_circuit(6)
+    impl = retime(spec, moves=4, seed=5)
+    product = build_product(spec, impl, match_outputs="order")
+    result = check_equivalence_traversal(product, node_limit=40,
+                                         use_register_correspondence=False)
+    assert result.inconclusive
+    assert "aborted" in result.details
+
+
+def test_traversal_iteration_budget_abort():
+    spec = counter_circuit(8)
+    product = build_product(spec, spec.copy(), match_outputs="order")
+    result = check_equivalence_traversal(product, max_iterations=2)
+    assert result.inconclusive
+
+
+def test_xor_reencoded_equivalent():
+    spec = counter_circuit(3)
+    impl = xor_reencode(spec, pairs=1, seed=4)
+    product = build_product(spec, impl, match_outputs="order")
+    result = check_equivalence_traversal(product)
+    assert result.proved

@@ -1,0 +1,110 @@
+"""CNF preprocessing tests: equisatisfiability against brute force."""
+
+import itertools
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import Cnf, Solver
+from repro.sat.simplify import simplify
+
+from .test_solver import brute_force_sat, random_cnf
+
+
+def make_cnf(num_vars, clauses):
+    cnf = Cnf(num_vars)
+    for clause in clauses:
+        cnf.add_clause(clause)
+    return cnf
+
+
+def test_unit_propagation_chain():
+    cnf = make_cnf(3, [[1], [-1, 2], [-2, 3]])
+    result = simplify(cnf)
+    assert not result.unsat
+    assert result.assignment == {1: True, 2: True, 3: True}
+    assert len(result.cnf) == 0
+    assert result.stats["units"] >= 1
+
+
+def test_unit_conflict_detected():
+    cnf = make_cnf(1, [[1], [-1]])
+    result = simplify(cnf)
+    assert result.unsat
+
+
+def test_pure_literal_elimination():
+    cnf = make_cnf(3, [[1, 2], [1, 3], [-2, 3]])
+    result = simplify(cnf)
+    assert not result.unsat
+    # Variable 1 appears only positively: fixed true, clauses melt away.
+    assert result.assignment.get(1) is True
+    assert result.stats["pures"] >= 1
+
+
+def test_subsumption():
+    from repro.sat.simplify import _subsume
+
+    clauses, subsumed, _ = _subsume([[1, 2], [1, 2, 3], [1, 2, -3]])
+    assert subsumed == 2
+    assert clauses == [[1, 2]]
+
+
+def test_self_subsuming_resolution():
+    from repro.sat.simplify import _subsume
+
+    # (a | b) and (a | -b | c): the second strengthens to (a | c).
+    clauses, _, strengthened = _subsume([[1, 2], [1, -2, 3]])
+    assert strengthened == 1
+    assert sorted(map(sorted, clauses)) == [[1, 2], [1, 3]]
+
+
+def test_simplify_pipeline_handles_mixed_case():
+    # No pures, no units: subsumption inside simplify() itself.
+    cnf = make_cnf(3, [[1, 2], [1, 2, 3], [-1, -3], [-2, 3]])
+    result = simplify(cnf)
+    assert not result.unsat
+    assert result.stats["subsumed"] >= 1
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.integers(min_value=0, max_value=10 ** 6))
+def test_equisatisfiable_with_brute_force(seed):
+    rng = random.Random(seed)
+    num_vars = rng.randint(1, 7)
+    clauses = random_cnf(rng, num_vars, rng.randint(1, 20))
+    cnf = make_cnf(num_vars, clauses)
+    result = simplify(cnf)
+    expected = brute_force_sat(num_vars, clauses)
+    if result.unsat:
+        assert expected is None
+        return
+    solver = Solver()
+    solver.ensure_vars(num_vars)
+    ok = solver.add_cnf(result.cnf)
+    verdict = solver.solve() if ok else False
+    assert verdict == (expected is not None)
+    if verdict:
+        # A model of the reduced formula extended with the fixed assignment
+        # must satisfy the original clauses.
+        model = {v: solver.model().get(v, False)
+                 for v in range(1, num_vars + 1)}
+        model.update(result.assignment)
+        for clause in clauses:
+            assert any(model[abs(l)] == (l > 0) for l in clause), clause
+
+
+def test_tseitin_encoding_shrinks():
+    """Simplification pays off on the engines' Tseitin output."""
+    from repro.sat.tseitin import TseitinEncoder
+    from ..netlist.helpers import counter_circuit
+
+    circuit = counter_circuit(4)
+    enc = TseitinEncoder()
+    frame = enc.encode_frame(circuit)
+    # Fix the initial state: lots of unit propagation follows.
+    for net, reg in circuit.registers.items():
+        enc.add_clause([frame[net] if reg.init else -frame[net]])
+    result = simplify(enc.cnf)
+    assert not result.unsat
+    assert len(result.cnf) < len(enc.cnf)

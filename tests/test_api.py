@@ -1,0 +1,76 @@
+"""Public API surface tests: the one-call entry point and package exports."""
+
+import pytest
+
+import repro
+from repro import METHODS, SecResult, verify
+from repro.circuits import fig2_pair
+
+from .netlist.helpers import counter_circuit, toggle_circuit
+
+
+def test_readme_quickstart_snippet():
+    spec, impl = fig2_pair()
+    result = verify(spec, impl)
+    assert result.proved
+
+
+def test_verify_dispatch_every_method():
+    spec = toggle_circuit()
+    impl = spec.copy()
+    for method in METHODS:
+        result = verify(spec, impl, method=method)
+        assert isinstance(result, SecResult)
+        if method in ("van_eijk", "traversal", "sat_sweep", "explicit"):
+            assert result.proved, method
+        else:  # bmc can only refute; equivalent pair -> inconclusive
+            assert not result.refuted
+
+
+def test_verify_unknown_method():
+    spec = toggle_circuit()
+    with pytest.raises(ValueError, match="unknown method"):
+        verify(spec, spec.copy(), method="quantum")
+
+
+def test_verify_passes_engine_options():
+    spec = counter_circuit(3)
+    result = verify(spec, spec.copy(), use_retiming=False,
+                    use_simulation=False, seed=7)
+    assert result.proved
+
+
+def test_package_exports():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+    assert repro.__version__
+
+
+def test_exception_hierarchy():
+    from repro import (
+        BddError, NetlistError, ParseError, ReproError, SatError,
+        TransformError, VerificationError,
+    )
+
+    for exc in (BddError, NetlistError, SatError, TransformError,
+                VerificationError):
+        assert issubclass(exc, ReproError)
+    assert issubclass(ParseError, NetlistError)
+
+
+def test_subpackage_exports_importable():
+    import repro.bdd
+    import repro.cec
+    import repro.circuits
+    import repro.core
+    import repro.eval
+    import repro.netlist
+    import repro.reach
+    import repro.sat
+    import repro.transform
+
+    for module in (repro.bdd, repro.cec, repro.core, repro.netlist,
+                   repro.reach, repro.sat, repro.transform, repro.circuits,
+                   repro.eval):
+        for name in module.__all__:
+            assert hasattr(module, name), (module.__name__, name)

@@ -1,0 +1,56 @@
+"""Two-level minimizer tests."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.transform import eval_cover, minterms_to_cubes
+
+
+def test_empty_onset():
+    assert minterms_to_cubes([], 3) == []
+
+
+def test_full_onset_is_tautology():
+    assert minterms_to_cubes(list(range(8)), 3) == ["---"]
+
+
+def test_single_minterm():
+    cubes = minterms_to_cubes([5], 3)  # 101
+    assert cubes == ["101"]
+
+
+def test_classic_merge():
+    # f = m0 + m1 over 2 vars = a'
+    cubes = minterms_to_cubes([0, 1], 2)
+    assert cubes == ["0-"]
+
+
+def test_zero_width():
+    assert minterms_to_cubes([0], 0) == [""]
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.sets(st.integers(min_value=0, max_value=31)),
+)
+def test_cover_matches_onset(width, raw_minterms):
+    minterms = {m for m in raw_minterms if m < (1 << width)}
+    cubes = minterms_to_cubes(sorted(minterms), width)
+    for pattern in range(1 << width):
+        bits = [(pattern >> i) & 1 for i in range(width)]
+        # Cube characters are MSB-first relative to format(); keep consistent:
+        ordered = [bool((pattern >> (width - 1 - i)) & 1) for i in range(width)]
+        assert eval_cover(cubes, ordered) == (pattern in minterms)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=5),
+    st.sets(st.integers(min_value=0, max_value=31), min_size=2),
+)
+def test_cover_is_no_larger_than_onset(width, raw_minterms):
+    minterms = sorted(m for m in raw_minterms if m < (1 << width))
+    if not minterms:
+        return
+    cubes = minterms_to_cubes(minterms, width)
+    assert len(cubes) <= len(minterms)
