@@ -1,0 +1,80 @@
+"""E6 — Batch service throughput and cache-hit reruns.
+
+Measures the new ``repro.service`` layer end to end: a six-row batch of
+Table 1 pairs run (a) inline, (b) with 2 worker processes, (c) with 4
+worker processes, and (d) replayed against a warm result cache.  The
+interesting columns are ``jobs_per_minute`` and the cache speedup — on a
+single-core container the worker counts mostly measure scheduling
+overhead, so no parallel-speedup assertion is made; the verdicts must
+match across configurations regardless.
+"""
+
+import time
+
+import pytest
+
+from repro.circuits import table1_suite
+from repro.service import BatchScheduler, JobSpec, ResultCache
+
+from conftest import run_once
+
+BATCH_ROWS = [row.name for row in table1_suite(scales=("small",))[:6]]
+
+
+@pytest.fixture(scope="module")
+def batch_jobs(suite_pairs):
+    jobs = []
+    for name in BATCH_ROWS:
+        spec, impl = suite_pairs(name)
+        jobs.append(JobSpec(name, spec, impl,
+                            options={"time_limit": 300}))
+    return jobs
+
+
+def _throughput(results, seconds):
+    return round(len(results) / seconds * 60.0, 2) if seconds > 0 else 0.0
+
+
+@pytest.mark.parametrize("workers", [0, 2, 4])
+def test_batch_throughput(benchmark, batch_jobs, workers):
+    def run():
+        t0 = time.monotonic()
+        batch = BatchScheduler(workers=workers).run(batch_jobs)
+        return batch, time.monotonic() - t0
+
+    results, seconds = run_once(benchmark, run)
+    assert [r.verdict for r in results] == [True] * len(batch_jobs)
+    benchmark.extra_info.update({
+        "workers": workers,
+        "jobs": len(results),
+        "jobs_per_minute": _throughput(results, seconds),
+        "verdicts": [r.verdict for r in results],
+    })
+
+
+def test_batch_cache_hit_rerun(benchmark, batch_jobs, tmp_path_factory):
+    cache = ResultCache(tmp_path_factory.mktemp("bench-cache"))
+    t0 = time.monotonic()
+    cold = BatchScheduler(workers=0, cache=cache).run(batch_jobs)
+    cold_seconds = time.monotonic() - t0
+    assert all(not r.cached for r in cold)
+
+    def rerun():
+        t0 = time.monotonic()
+        batch = BatchScheduler(workers=0, cache=cache).run(batch_jobs)
+        return batch, time.monotonic() - t0
+
+    warm, warm_seconds = run_once(benchmark, rerun)
+    assert all(r.cached for r in warm)
+    assert [r.verdict for r in warm] == [r.verdict for r in cold]
+    benchmark.extra_info.update({
+        "jobs": len(warm),
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_seconds": round(warm_seconds, 3),
+        "cache_speedup": round(cold_seconds / warm_seconds, 1)
+        if warm_seconds > 0 else float("inf"),
+        "cache_hits": cache.hits,
+    })
+    # The warm replay does no verification work: it must be at least an
+    # order of magnitude faster than the cold batch.
+    assert warm_seconds * 10 <= cold_seconds

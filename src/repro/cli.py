@@ -2,14 +2,20 @@
 
 Subcommands::
 
-    repro-sec verify spec.bench impl.bench [--method van_eijk] [...]
+    repro-sec verify spec.bench impl.bench [--method van_eijk] [--json]
+    repro-sec verify spec.bench impl.bench --portfolio
+    repro-sec batch [--rows s386 s510 | --scales small] [--workers 4]
     repro-sec table1 [--scales small medium] [--optimize-level 2]
     repro-sec info circuit.bench
 
-Circuit files are ``.bench`` or BLIF (chosen by extension).
+Circuit files are ``.bench`` or BLIF (chosen by extension).  ``--json``
+prints the shared machine-readable serialization
+(:meth:`repro.reach.SecResult.as_dict`) used by the service cache and
+event stream.
 """
 
 import argparse
+import json
 import sys
 
 from . import METHODS, verify
@@ -22,34 +28,7 @@ def _load_circuit(path):
     return bench.load(path)
 
 
-def _cmd_verify(args):
-    spec = _load_circuit(args.spec)
-    impl = _load_circuit(args.impl)
-    options = {}
-    if args.method == "van_eijk":
-        options.update(
-            use_simulation=not args.no_simulation,
-            use_fundeps=not args.no_fundeps,
-            use_retiming=not args.no_retiming,
-        )
-        if args.reach_bound:
-            options["reach_bound"] = args.reach_bound
-        if args.time_limit:
-            options["time_limit"] = args.time_limit
-        if args.node_limit:
-            options["node_limit"] = args.node_limit
-    elif args.method == "traversal":
-        if args.time_limit:
-            options["time_limit"] = args.time_limit
-        if args.node_limit:
-            options["node_limit"] = args.node_limit
-    elif args.method == "bmc":
-        options["max_depth"] = args.max_depth
-        if args.time_limit:
-            options["time_limit"] = args.time_limit
-    result = verify(spec, impl, method=args.method,
-                    match_inputs=args.match_inputs,
-                    match_outputs=args.match_outputs, **options)
+def _print_result_text(result):
     print(result)
     if result.refuted and result.counterexample is not None:
         print("counterexample ({} frames):".format(
@@ -63,7 +42,118 @@ def _cmd_verify(args):
     if result.details:
         for key, value in sorted(result.details.items()):
             print("  {}: {}".format(key, value))
+
+
+def _result_exit_code(result):
     return 0 if result.proved else (2 if result.refuted else 1)
+
+
+def _cmd_verify(args):
+    spec = _load_circuit(args.spec)
+    impl = _load_circuit(args.impl)
+    if args.portfolio:
+        from .service import EventBus, LiveRenderer, run_portfolio
+
+        bus = EventBus()
+        if not args.json:
+            bus.subscribe(LiveRenderer(verbose=args.verbose))
+        result = run_portfolio(
+            spec, impl,
+            time_limit=args.time_limit,
+            match_inputs=args.match_inputs,
+            match_outputs=args.match_outputs,
+            bus=bus,
+        )
+    else:
+        options = {}
+        if args.method == "van_eijk":
+            options.update(
+                use_simulation=not args.no_simulation,
+                use_fundeps=not args.no_fundeps,
+                use_retiming=not args.no_retiming,
+            )
+            if args.reach_bound:
+                options["reach_bound"] = args.reach_bound
+            if args.time_limit:
+                options["time_limit"] = args.time_limit
+            if args.node_limit:
+                options["node_limit"] = args.node_limit
+        elif args.method == "traversal":
+            if args.time_limit:
+                options["time_limit"] = args.time_limit
+            if args.node_limit:
+                options["node_limit"] = args.node_limit
+        elif args.method == "bmc":
+            options["max_depth"] = args.max_depth
+            if args.time_limit:
+                options["time_limit"] = args.time_limit
+        result = verify(spec, impl, method=args.method,
+                        match_inputs=args.match_inputs,
+                        match_outputs=args.match_outputs, **options)
+    if args.json:
+        payload = result.as_dict()
+        payload["spec"] = str(args.spec)
+        payload["impl"] = str(args.impl)
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        _print_result_text(result)
+    return _result_exit_code(result)
+
+
+def _cmd_batch(args):
+    from .circuits import row_by_name, table1_suite
+    from .service import (BatchScheduler, EventBus, JobSpec,
+                          JsonlEventWriter, LiveRenderer, ResultCache)
+
+    if args.rows:
+        try:
+            rows = [row_by_name(name) for name in args.rows]
+        except KeyError as exc:
+            known = ", ".join(row.name for row in table1_suite())
+            print("error: unknown suite row {} (choices: {})".format(
+                exc, known), file=sys.stderr)
+            return 1
+    else:
+        rows = table1_suite(scales=tuple(args.scales))
+    jobs = []
+    for row in rows:
+        spec, impl = row.pair(optimize_level=args.optimize_level)
+        jobs.append(JobSpec(row.name, spec, impl, method=args.method,
+                            tags={"scale": row.scale}))
+    bus = EventBus()
+    if not args.json:
+        bus.subscribe(LiveRenderer(verbose=args.verbose))
+    writer = None
+    if args.events:
+        writer = JsonlEventWriter(args.events)
+        bus.subscribe(writer)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    scheduler = BatchScheduler(
+        workers=args.workers,
+        cache=cache,
+        bus=bus,
+        retries=args.retries,
+        fallback_method=args.fallback,
+        job_time_limit=args.time_limit,
+        total_time_limit=args.total_time_limit,
+        node_limit=args.node_limit,
+    )
+    try:
+        results = scheduler.run(jobs)
+    except KeyboardInterrupt:
+        # Workers are already terminated by the scheduler's cleanup path.
+        print("\nbatch: interrupted", file=sys.stderr)
+        return 130
+    finally:
+        if writer is not None:
+            writer.close()
+    if args.json:
+        print(json.dumps([r.as_dict() for r in results], sort_keys=True))
+    if any(r.verdict is False for r in results):
+        return 2
+    if any(r.verdict is None for r in results):
+        return 1
+    return 0
 
 
 def _cmd_table1(args):
@@ -73,6 +163,7 @@ def _cmd_table1(args):
     rows = table1_suite(scales=tuple(args.scales))
     results = run_table(
         rows,
+        workers=args.workers,
         optimize_level=args.optimize_level,
         traversal_time_limit=args.traversal_time_limit,
         proposed_time_limit=args.proposed_time_limit,
@@ -100,6 +191,13 @@ def build_parser():
     p_verify.add_argument("spec")
     p_verify.add_argument("impl")
     p_verify.add_argument("--method", choices=METHODS, default="van_eijk")
+    p_verify.add_argument("--portfolio", action="store_true",
+                          help="race van_eijk/bmc/traversal in parallel; "
+                               "first conclusive verdict wins")
+    p_verify.add_argument("--json", action="store_true",
+                          help="print the machine-readable verdict/stats "
+                               "dict instead of text")
+    p_verify.add_argument("--verbose", action="store_true")
     p_verify.add_argument("--match-inputs", choices=["name", "order"],
                           default="name")
     p_verify.add_argument("--match-outputs", choices=["name", "order"],
@@ -114,9 +212,43 @@ def build_parser():
                           help="BMC unrolling bound")
     p_verify.set_defaults(func=_cmd_verify)
 
+    p_batch = sub.add_parser(
+        "batch", help="verify many suite pairs on the batch scheduler")
+    p_batch.add_argument("--rows", nargs="+",
+                         help="suite row names (e.g. s386 s510); default: "
+                              "all rows of the selected scales")
+    p_batch.add_argument("--scales", nargs="+", default=["small"],
+                         choices=["small", "medium", "large"])
+    p_batch.add_argument("--method", choices=METHODS, default="van_eijk")
+    p_batch.add_argument("--workers", type=int, default=2,
+                         help="parallel worker processes (0 = inline)")
+    p_batch.add_argument("--optimize-level", type=int, default=2)
+    p_batch.add_argument("--time-limit", type=float, default=300.0,
+                         help="per-job engine time budget (seconds)")
+    p_batch.add_argument("--total-time-limit", type=float,
+                         help="whole-batch wall-clock budget (seconds)")
+    p_batch.add_argument("--node-limit", type=int,
+                         help="per-job BDD node budget")
+    p_batch.add_argument("--retries", type=int, default=1,
+                         help="retries per job after a worker crash")
+    p_batch.add_argument("--fallback", choices=METHODS,
+                         help="method to rerun inconclusive jobs with "
+                              "(e.g. bmc)")
+    p_batch.add_argument("--cache-dir", default=".repro-cache")
+    p_batch.add_argument("--no-cache", action="store_true")
+    p_batch.add_argument("--events", metavar="FILE",
+                         help="append the JSONL event stream to FILE")
+    p_batch.add_argument("--json", action="store_true",
+                         help="print per-job results as JSON")
+    p_batch.add_argument("--verbose", action="store_true",
+                         help="also print per-iteration progress events")
+    p_batch.set_defaults(func=_cmd_batch)
+
     p_table = sub.add_parser("table1", help="run the Table-1 experiment")
     p_table.add_argument("--scales", nargs="+", default=["small"],
                          choices=["small", "medium", "large"])
+    p_table.add_argument("--workers", type=int, default=0,
+                         help="parallelize rows across worker processes")
     p_table.add_argument("--optimize-level", type=int, default=2)
     p_table.add_argument("--traversal-time-limit", type=float, default=60.0)
     p_table.add_argument("--proposed-time-limit", type=float, default=300.0)

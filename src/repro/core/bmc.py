@@ -18,11 +18,15 @@ from ..sat.tseitin import TseitinEncoder
 
 
 def bmc_refute(product, max_depth=32, time_limit=None,
-               conflict_budget=None):
+               conflict_budget=None, progress=None, cancel_check=None):
     """Search for a counterexample of length 1..max_depth.
 
     Returns a :class:`SecResult`: refuted (with a shortest-length trace),
     or inconclusive — BMC can never *prove* equivalence.
+
+    ``progress(kind, **data)`` fires once per unrolled depth;
+    ``cancel_check()`` is polled at the same cadence and aborts the search
+    with an inconclusive ("cancelled") result.
     """
     start = time.monotonic()
     deadline = None if time_limit is None else start + time_limit
@@ -40,6 +44,15 @@ def bmc_refute(product, max_depth=32, time_limit=None,
                 seconds=time.monotonic() - start,
                 details={"aborted": "time budget exhausted"},
             )
+        if cancel_check is not None and cancel_check():
+            return SecResult(
+                equivalent=None, method="bmc",
+                iterations=depth - 1,
+                seconds=time.monotonic() - start,
+                details={"aborted": "cancelled"},
+            )
+        if progress is not None:
+            progress("depth", depth=depth, clauses=len(enc.cnf.clauses))
         clause_mark = len(enc.cnf.clauses)
         current = enc.encode_frame(circuit, leaves=leaves)
         frame_vars.append(current)

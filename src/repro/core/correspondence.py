@@ -45,7 +45,8 @@ def initial_partition(frame, functions, use_simulation=True):
 
 def compute_fixpoint(frame, functions, use_simulation=True, use_fundeps=True,
                      reach_bound=None, deadline=None, max_iterations=None,
-                     reorder_threshold=None, refinement="implication"):
+                     reorder_threshold=None, refinement="implication",
+                     on_iteration=None, cancel_check=None):
     """Run the fixed point; returns a :class:`CorrespondenceResult`.
 
     ``reach_bound`` is an optional BDD over the frame's state variables — an
@@ -66,6 +67,12 @@ def compute_fixpoint(frame, functions, use_simulation=True, use_fundeps=True,
       don't care set", made literal).
 
     Both compute the same relation; their costs differ.
+
+    ``on_iteration(iteration, partition)`` is called at the top of every
+    refinement round (progress reporting); ``cancel_check()`` is polled at
+    the same cadence and aborts the fixed point with
+    :class:`ResourceBudgetExceeded` when it returns true (cooperative
+    cancellation for the service layer).
     """
     from ..bdd.reorder import maybe_sift
 
@@ -81,6 +88,10 @@ def compute_fixpoint(frame, functions, use_simulation=True, use_fundeps=True,
             raise ResourceBudgetExceeded("fixpoint iteration budget exhausted")
         if deadline is not None and time.monotonic() > deadline:
             raise ResourceBudgetExceeded("fixpoint time budget exhausted")
+        if cancel_check is not None and cancel_check():
+            raise ResourceBudgetExceeded("cancelled")
+        if on_iteration is not None:
+            on_iteration(iterations, partition)
         if reorder_threshold is not None:
             maybe_sift(mgr, reorder_threshold)
         substitution = {}

@@ -43,7 +43,7 @@ class VanEijkVerifier:
                  reach_bound=None, node_limit=None, time_limit=None,
                  sim_frames=24, sim_width=32, seed=2024,
                  max_iterations=None, reorder_threshold=200000,
-                 refinement="implication"):
+                 refinement="implication", progress=None, cancel_check=None):
         self.use_simulation = use_simulation
         self.use_fundeps = use_fundeps
         self.use_retiming = use_retiming
@@ -57,6 +57,16 @@ class VanEijkVerifier:
         self.max_iterations = max_iterations
         self.reorder_threshold = reorder_threshold
         self.refinement = refinement
+        # Service-layer hooks: ``progress(kind, **data)`` is called at
+        # iteration and retiming-round boundaries; ``cancel_check()`` is
+        # polled at the same points — returning true aborts the run with an
+        # inconclusive ("cancelled") result instead of raising to the caller.
+        self.progress = progress
+        self.cancel_check = cancel_check
+
+    def _emit(self, kind, **data):
+        if self.progress is not None:
+            self.progress(kind, **data)
 
     # -- public API ---------------------------------------------------------
 
@@ -107,6 +117,17 @@ class VanEijkVerifier:
         total_iterations = 0
         retime_rounds = 0
         result = None
+        base_iterations = 0
+
+        def on_iteration(iteration, partition):
+            self._emit(
+                "iteration",
+                iteration=base_iterations + iteration,
+                classes=partition.num_classes,
+                nodes=frame.manager.peak_live_nodes,
+                retime_round=retime_rounds,
+            )
+
         while True:
             functions = frame.build_signal_functions()
             fix = compute_fixpoint(
@@ -119,8 +140,11 @@ class VanEijkVerifier:
                 max_iterations=self.max_iterations,
                 reorder_threshold=self.reorder_threshold,
                 refinement=self.refinement,
+                on_iteration=on_iteration if self.progress else None,
+                cancel_check=self.cancel_check,
             )
             total_iterations += fix.iterations
+            base_iterations = total_iterations
             result = fix
             if self._outputs_proved(frame, product, fix.partition):
                 return SecResult(
@@ -133,10 +157,14 @@ class VanEijkVerifier:
                 )
             if not self.use_retiming or retime_rounds >= self.max_retiming_rounds:
                 break
+            if self.cancel_check is not None and self.cancel_check():
+                raise ResourceBudgetExceeded("cancelled")
             new_nets = augmenter.augment_round()
             if not new_nets:
                 break
             retime_rounds += 1
+            self._emit("retiming_round", round=retime_rounds,
+                       new_signals=len(new_nets))
         return SecResult(
             equivalent=None,
             method="van_eijk",

@@ -1,6 +1,6 @@
 """Evaluation harness: Table-1 runner, ablations, text rendering."""
 
-from .table1 import Table1Result, run_row, run_table
+from .table1 import Table1Result, run_row, run_table, table1_jobs
 from .render import fmt_any, render_ablation, render_table1
 from .ablations import (
     ablation_backends,
@@ -24,4 +24,5 @@ __all__ = [
     "render_table1",
     "run_row",
     "run_table",
+    "table1_jobs",
 ]

@@ -12,29 +12,45 @@ benchmark harness:
 * E7 — optimization level vs. %eqs (the 85% vs 54% footnote, §5).
 * E9 — reachability-strengthened correspondence condition (§3).
 * E8 — BDD vs. SAT refinement backends (§6 outlook).
+
+All verification calls go through the batch scheduler: every ablation
+accepts ``workers`` (0 = inline/sequential, N = parallel worker
+processes), ``cache`` and ``bus`` and forwards them to
+:class:`repro.service.BatchScheduler`, so ablation sweeps parallelize and
+reuse cached verdicts exactly like the Table-1 reproduction.
 """
 
-import time
-
 from ..circuits.paper_example import fig3_pair, onehot_ring_pair
-from ..core import VanEijkVerifier, check_equivalence_sat_sweep
-from ..netlist.product import build_product
-from ..reach import check_equivalence_traversal
+from ..service import BatchScheduler, JobSpec
 from ..transform import retime
 
-
-def _verify(spec, impl, **options):
-    return VanEijkVerifier(**options).verify(spec, impl,
-                                             match_outputs="order")
+_TRAVERSAL_BUDGET = dict(time_limit=60, node_limit=200000,
+                         max_iterations=600)
 
 
-def ablation_simulation(rows, optimize_level=2):
+def _schedule(jobs, workers=0, cache=None, bus=None):
+    """Run job specs through the scheduler; returns their SecResults."""
+    scheduler = BatchScheduler(workers=workers, cache=cache, bus=bus)
+    return [outcome.result for outcome in scheduler.run(jobs)]
+
+
+def _job(name, spec, impl, method="van_eijk", **options):
+    return JobSpec(name, spec, impl, method=method, options=options,
+                   match_outputs="order")
+
+
+def ablation_simulation(rows, optimize_level=2, workers=0, cache=None,
+                        bus=None):
     """E4: fixpoint iterations and time with/without simulation seeding."""
-    results = []
+    jobs = []
     for row in rows:
         spec, impl = row.pair(optimize_level=optimize_level)
-        with_sim = _verify(spec, impl, use_simulation=True)
-        without_sim = _verify(spec, impl, use_simulation=False)
+        jobs.append(_job(row.name, spec, impl, use_simulation=True))
+        jobs.append(_job(row.name, spec, impl, use_simulation=False))
+    outcomes = _schedule(jobs, workers=workers, cache=cache, bus=bus)
+    results = []
+    for i, row in enumerate(rows):
+        with_sim, without_sim = outcomes[2 * i], outcomes[2 * i + 1]
         results.append({
             "circuit": row.name,
             "its_sim": with_sim.iterations,
@@ -46,22 +62,23 @@ def ablation_simulation(rows, optimize_level=2):
     return results
 
 
-def ablation_fundep(rows, optimize_level=2):
+def ablation_fundep(rows, optimize_level=2, workers=0, cache=None, bus=None):
     """E5: functional-dependency substitution on/off, both engines."""
-    results = []
+    jobs = []
     for row in rows:
         spec, impl = row.pair(optimize_level=optimize_level)
-        product = build_product(spec, impl, match_outputs="order")
-        with_fd = VanEijkVerifier(use_fundeps=True).verify_product(product)
-        without_fd = VanEijkVerifier(use_fundeps=False).verify_product(product)
-        trav_fd = check_equivalence_traversal(
-            product, use_register_correspondence=True,
-            time_limit=60, node_limit=200000, max_iterations=600,
-        )
-        trav_plain = check_equivalence_traversal(
-            product, use_register_correspondence=False,
-            time_limit=60, node_limit=200000, max_iterations=600,
-        )
+        jobs.append(_job(row.name, spec, impl, use_fundeps=True))
+        jobs.append(_job(row.name, spec, impl, use_fundeps=False))
+        jobs.append(_job(row.name, spec, impl, method="traversal",
+                         use_register_correspondence=True,
+                         **_TRAVERSAL_BUDGET))
+        jobs.append(_job(row.name, spec, impl, method="traversal",
+                         use_register_correspondence=False,
+                         **_TRAVERSAL_BUDGET))
+    outcomes = _schedule(jobs, workers=workers, cache=cache, bus=bus)
+    results = []
+    for i, row in enumerate(rows):
+        with_fd, without_fd, trav_fd, trav_plain = outcomes[4 * i:4 * i + 4]
         results.append({
             "circuit": row.name,
             "subs": with_fd.details.get("substitutions"),
@@ -74,26 +91,24 @@ def ablation_fundep(rows, optimize_level=2):
     return results
 
 
-def ablation_retiming(rows=None, retime_moves=4):
+def ablation_retiming(rows=None, retime_moves=4, workers=0, cache=None,
+                      bus=None):
     """E6/E3: retimed pairs with augmentation on/off (plus Fig. 3)."""
-    results = []
-    spec, impl = fig3_pair()
-    on = _verify(spec, impl, use_retiming=True)
-    off = _verify(spec, impl, use_retiming=False)
-    results.append({
-        "circuit": "fig3",
-        "proved_on": on.proved,
-        "proved_off": off.proved,
-        "rounds": on.details.get("retime_rounds"),
-        "augmented": on.details.get("augmented_signals"),
-    })
+    pairs = [("fig3",) + fig3_pair()]
     for row in rows or []:
         spec = row.spec()
         impl = retime(spec, moves=retime_moves, seed=row._seed() + 5)
-        on = _verify(spec, impl, use_retiming=True)
-        off = _verify(spec, impl, use_retiming=False)
+        pairs.append((row.name, spec, impl))
+    jobs = []
+    for name, spec, impl in pairs:
+        jobs.append(_job(name, spec, impl, use_retiming=True))
+        jobs.append(_job(name, spec, impl, use_retiming=False))
+    outcomes = _schedule(jobs, workers=workers, cache=cache, bus=bus)
+    results = []
+    for i, (name, _, _) in enumerate(pairs):
+        on, off = outcomes[2 * i], outcomes[2 * i + 1]
         results.append({
-            "circuit": row.name,
+            "circuit": name,
             "proved_on": on.proved,
             "proved_off": off.proved,
             "rounds": on.details.get("retime_rounds"),
@@ -102,17 +117,21 @@ def ablation_retiming(rows=None, retime_moves=4):
     return results
 
 
-def ablation_opt_level(rows):
+def ablation_opt_level(rows, workers=0, cache=None, bus=None):
     """E7: %eqs after retiming only vs. after aggressive optimization.
 
     Reproduces the footnote: 85% of signals correspond without
     ``script.rugged``, 54% with it (our pipeline's absolute numbers differ;
     the monotone drop is the reproduced effect).
     """
-    results = []
+    jobs = []
     for row in rows:
-        light = _verify(*row.pair(optimize_level=0))
-        heavy = _verify(*row.pair(optimize_level=2))
+        jobs.append(_job(row.name, *row.pair(optimize_level=0)))
+        jobs.append(_job(row.name, *row.pair(optimize_level=2)))
+    outcomes = _schedule(jobs, workers=workers, cache=cache, bus=bus)
+    results = []
+    for i, row in enumerate(rows):
+        light, heavy = outcomes[2 * i], outcomes[2 * i + 1]
         results.append({
             "circuit": row.name,
             "eqs_retime_only": light.details.get("eqs_percent"),
@@ -122,15 +141,21 @@ def ablation_opt_level(rows):
     return results
 
 
-def ablation_reach_bound():
+def ablation_reach_bound(workers=0, cache=None, bus=None):
     """E9: sequential don't cares rescue the incomplete cases (§3)."""
-    results = []
-    for label, enable in (("onehot", False), ("onehot_en", True)):
+    configs = [("onehot", False), ("onehot_en", True)]
+    jobs = []
+    for label, enable in configs:
         spec, impl = onehot_ring_pair(enable=enable)
-        plain = _verify(spec, impl, use_retiming=False)
-        retimed = _verify(spec, impl, use_retiming=True,
-                          max_retiming_rounds=4)
-        exact = _verify(spec, impl, use_retiming=False, reach_bound="exact")
+        jobs.append(_job(label, spec, impl, use_retiming=False))
+        jobs.append(_job(label, spec, impl, use_retiming=True,
+                         max_retiming_rounds=4))
+        jobs.append(_job(label, spec, impl, use_retiming=False,
+                         reach_bound="exact"))
+    outcomes = _schedule(jobs, workers=workers, cache=cache, bus=bus)
+    results = []
+    for i, (label, _) in enumerate(configs):
+        plain, retimed, exact = outcomes[3 * i:3 * i + 3]
         results.append({
             "circuit": label,
             "plain": plain.equivalent,
@@ -140,20 +165,22 @@ def ablation_reach_bound():
     return results
 
 
-def ablation_backends(rows, optimize_level=2):
+def ablation_backends(rows, optimize_level=2, workers=0, cache=None,
+                      bus=None):
     """E8: BDD fixpoint vs. SAT (intermediate-variable) fixpoint."""
-    results = []
+    jobs = []
     for row in rows:
         spec, impl = row.pair(optimize_level=optimize_level)
-        t0 = time.monotonic()
-        bdd = _verify(spec, impl, use_retiming=False)
-        t1 = time.monotonic()
-        sat = check_equivalence_sat_sweep(spec, impl, match_outputs="order")
-        t2 = time.monotonic()
+        jobs.append(_job(row.name, spec, impl, use_retiming=False))
+        jobs.append(_job(row.name, spec, impl, method="sat_sweep"))
+    outcomes = _schedule(jobs, workers=workers, cache=cache, bus=bus)
+    results = []
+    for i, row in enumerate(rows):
+        bdd, sat = outcomes[2 * i], outcomes[2 * i + 1]
         results.append({
             "circuit": row.name,
-            "bdd_time": t1 - t0,
-            "sat_time": t2 - t1,
+            "bdd_time": bdd.seconds,
+            "sat_time": sat.seconds,
             "bdd_verdict": bdd.equivalent,
             "sat_verdict": sat.equivalent,
         })

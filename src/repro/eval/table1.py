@@ -6,11 +6,15 @@ the same columns are reported: register counts before/after synthesis;
 traversal time, peak BDD nodes, iterations; proposed-method time, peak
 nodes, iterations (+ retiming rounds); and the percentage of specification
 signals with a corresponding implementation signal.
+
+Execution goes through the batch scheduler
+(:class:`repro.service.BatchScheduler`): ``workers=0`` (default) runs
+inline and sequentially as the seed did, ``workers=N`` races the table's
+rows across N worker processes, and a ``cache`` makes repeated table runs
+skip already-solved rows.
 """
 
-from ..core import VanEijkVerifier
-from ..netlist.product import build_product
-from ..reach import check_equivalence_traversal
+from ..service import BatchScheduler, JobSpec
 
 
 class Table1Result:
@@ -53,33 +57,64 @@ class Table1Result:
         }
 
 
-def run_row(row, optimize_level=2, traversal_time_limit=60.0,
-            traversal_node_limit=200000, traversal_max_iterations=600,
-            proposed_time_limit=300.0, proposed_node_limit=2000000,
-            run_traversal=True, verifier_options=None):
-    """Run both engines on one suite row; returns a :class:`Table1Result`."""
+def table1_jobs(row, optimize_level=2, traversal_time_limit=60.0,
+                traversal_node_limit=200000, traversal_max_iterations=600,
+                proposed_time_limit=300.0, proposed_node_limit=2000000,
+                run_traversal=True, verifier_options=None):
+    """Build the (proposed, traversal) job specs for one suite row.
+
+    Returns ``(jobs, regs_orig, regs_opt)`` where ``jobs`` holds the
+    proposed-method job and, with ``run_traversal``, the traversal job.
+    """
     spec, impl = row.pair(optimize_level=optimize_level)
-    product = build_product(spec, impl, match_inputs="name",
-                            match_outputs="order")
     options = dict(
         time_limit=proposed_time_limit,
         node_limit=proposed_node_limit,
     )
     options.update(verifier_options or {})
-    proposed = VanEijkVerifier(**options).verify_product(product)
-    traversal = None
+    jobs = [JobSpec(row.name, spec, impl, method="van_eijk",
+                    options=options, tags={"role": "proposed"})]
     if run_traversal:
-        traversal = check_equivalence_traversal(
-            product,
-            time_limit=traversal_time_limit,
-            node_limit=traversal_node_limit,
-            max_iterations=traversal_max_iterations,
+        jobs.append(JobSpec(row.name, spec, impl, method="traversal",
+                            options=dict(
+                                time_limit=traversal_time_limit,
+                                node_limit=traversal_node_limit,
+                                max_iterations=traversal_max_iterations,
+                            ),
+                            tags={"role": "traversal"}))
+    return jobs, spec.num_registers, impl.num_registers
+
+
+def run_table(rows, workers=0, cache=None, bus=None, **row_kwargs):
+    """Run a list of suite rows; returns the result list in order.
+
+    ``workers`` parallelizes across rows *and* engines (each row submits
+    one proposed-method job and one traversal job to the scheduler);
+    ``cache``/``bus`` are forwarded to :class:`BatchScheduler`, so repeated
+    table reproductions hit the result cache and stream progress events.
+    Remaining keyword arguments are per-row options (see
+    :func:`table1_jobs`).
+    """
+    jobs = []
+    layout = []  # (row, regs_orig, regs_opt, proposed_idx, traversal_idx)
+    for row in rows:
+        row_jobs, regs_orig, regs_opt = table1_jobs(row, **row_kwargs)
+        proposed_idx = len(jobs)
+        traversal_idx = len(jobs) + 1 if len(row_jobs) > 1 else None
+        jobs.extend(row_jobs)
+        layout.append((row, regs_orig, regs_opt, proposed_idx, traversal_idx))
+    scheduler = BatchScheduler(workers=workers, cache=cache, bus=bus)
+    outcomes = scheduler.run(jobs)
+    return [
+        Table1Result(
+            row.name, regs_orig, regs_opt,
+            None if traversal_idx is None else outcomes[traversal_idx].result,
+            outcomes[proposed_idx].result,
         )
-    return Table1Result(
-        row.name, spec.num_registers, impl.num_registers, traversal, proposed
-    )
+        for row, regs_orig, regs_opt, proposed_idx, traversal_idx in layout
+    ]
 
 
-def run_table(rows, **kwargs):
-    """Run a list of suite rows; returns the result list in order."""
-    return [run_row(row, **kwargs) for row in rows]
+def run_row(row, **kwargs):
+    """Run both engines on one suite row; returns a :class:`Table1Result`."""
+    return run_table([row], **kwargs)[0]

@@ -11,7 +11,7 @@ from .simulate import (
     tv_const,
     x_initialized_fixpoint,
 )
-from .strash import strash
+from .strash import strash, structural_fingerprint
 from .bddnet import build_bdds, gate_bdd
 from .unroll import unroll
 from . import aig, bench, blif, cones, stats, vcd, verilog
@@ -34,6 +34,7 @@ __all__ = [
     "tv_const",
     "x_initialized_fixpoint",
     "strash",
+    "structural_fingerprint",
     "unroll",
     "build_bdds",
     "gate_bdd",

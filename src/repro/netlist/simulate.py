@@ -28,10 +28,18 @@ def bit_parallel_eval(circuit, env, width):
     """
     values = {}
     full = _mask(width)
-    for net in circuit.inputs:
-        values[net] = env[net] & full
-    for net in circuit.registers:
-        values[net] = env[net] & full
+    try:
+        for net in circuit.inputs:
+            values[net] = env[net] & full
+        for net in circuit.registers:
+            values[net] = env[net] & full
+    except KeyError as exc:
+        raise NetlistError(
+            "bit_parallel_eval: env is missing a value for {} net {!r}".format(
+                "input" if exc.args[0] in circuit.inputs else "register",
+                exc.args[0],
+            )
+        ) from None
     for name in circuit.topo_order():
         gate = circuit.gates[name]
         values[name] = _eval_words(gate.gtype, [values[f] for f in gate.fanins], full)

@@ -23,6 +23,29 @@ class CexTrace:
         """Input vectors frame by frame, including the distinguishing frame."""
         return self.inputs + [self.final_input]
 
+    def as_dict(self):
+        """JSON-serializable form (net values become 0/1 integers)."""
+        return {
+            "inputs": [
+                {net: int(v) for net, v in frame.items()} for frame in self.inputs
+            ],
+            "final_input": {net: int(v) for net, v in self.final_input.items()},
+            "state": {net: int(v) for net, v in self.state.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            inputs=[
+                {net: bool(v) for net, v in frame.items()}
+                for frame in data.get("inputs", [])
+            ],
+            final_input={
+                net: bool(v) for net, v in data.get("final_input", {}).items()
+            },
+            state={net: bool(v) for net, v in data.get("state", {}).items()},
+        )
+
     def __repr__(self):
         return "CexTrace(length={})".format(self.length)
 
@@ -57,6 +80,38 @@ class SecResult:
     @property
     def inconclusive(self):
         return self.equivalent is None
+
+    def as_dict(self):
+        """JSON-serializable form — the one serialization shared by the
+        ``--json`` CLI mode, the result cache and the service event log."""
+        verdict = {True: "equivalent", False: "inequivalent", None: "undecided"}[
+            self.equivalent
+        ]
+        return {
+            "verdict": verdict,
+            "equivalent": self.equivalent,
+            "method": self.method,
+            "iterations": self.iterations,
+            "peak_nodes": self.peak_nodes,
+            "seconds": self.seconds,
+            "counterexample": (
+                None if self.counterexample is None else self.counterexample.as_dict()
+            ),
+            "details": dict(self.details),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        cex = data.get("counterexample")
+        return cls(
+            equivalent=data.get("equivalent"),
+            method=data.get("method"),
+            iterations=data.get("iterations"),
+            peak_nodes=data.get("peak_nodes"),
+            seconds=data.get("seconds"),
+            counterexample=None if cex is None else CexTrace.from_dict(cex),
+            details=dict(data.get("details") or {}),
+        )
 
     def __repr__(self):
         verdict = {True: "EQUIVALENT", False: "INEQUIVALENT", None: "UNDECIDED"}[

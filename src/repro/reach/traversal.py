@@ -59,13 +59,18 @@ def symbolic_reachability(ts, max_iterations=None, deadline=None,
 
 def check_equivalence_traversal(product, use_register_correspondence=True,
                                 node_limit=None, time_limit=None,
-                                cluster_size=4, max_iterations=None):
+                                cluster_size=4, max_iterations=None,
+                                progress=None, cancel_check=None):
     """Full SEC by product-machine state space traversal.
 
     Returns a :class:`SecResult`.  With ``use_register_correspondence`` the
     product machine is first reduced by substituting equivalent/antivalent
     registers ([5]/[9]/[6]); without it the traversal runs on the raw
     product (the paper notes this variant "performs considerably worse").
+
+    ``progress(kind, **data)`` fires once per BFS ring; ``cancel_check()``
+    is polled at the same cadence and aborts the traversal with an
+    inconclusive ("cancelled") result.
     """
     start = time.monotonic()
     deadline = None if time_limit is None else start + time_limit
@@ -97,6 +102,11 @@ def check_equivalence_traversal(product, use_register_correspondence=True,
         rings_out = []
 
         def frontier_hook(frontier, iteration):
+            if cancel_check is not None and cancel_check():
+                raise ResourceBudgetExceeded("cancelled")
+            if progress is not None:
+                progress("ring", iteration=iteration,
+                         nodes=mgr.peak_live_nodes)
             hit = mgr.apply_and(frontier, bad_states)
             if hit != mgr.false:
                 failure["state"] = hit

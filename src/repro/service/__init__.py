@@ -1,0 +1,43 @@
+"""Verification service: parallel portfolio racing, batch scheduling,
+result caching and a structured event stream.
+
+The service layer turns the single-shot engines into a schedulable fleet::
+
+    from repro.service import BatchScheduler, JobSpec, ResultCache
+
+    jobs = [JobSpec(name, spec, impl) for name, (spec, impl) in pairs]
+    scheduler = BatchScheduler(workers=4, cache=ResultCache(".repro-cache"))
+    results = scheduler.run(jobs)          # JobResult list, in order
+
+    from repro.service import run_portfolio
+    result = run_portfolio(spec, impl)     # first conclusive engine wins
+
+See :mod:`repro.service.events` for the observable event vocabulary and
+:mod:`repro.service.render` for the live CLI view.
+"""
+
+from .cache import ResultCache
+from .events import Event, EventBus, JsonlEventWriter, read_event_log
+from .job import JobResult, JobSpec, aborted_result
+from .portfolio import DEFAULT_PORTFOLIO_METHODS, run_portfolio
+from .render import LiveRenderer
+from .scheduler import BatchScheduler
+from .worker import register_method, run_job, unregister_method
+
+__all__ = [
+    "BatchScheduler",
+    "DEFAULT_PORTFOLIO_METHODS",
+    "Event",
+    "EventBus",
+    "JobResult",
+    "JobSpec",
+    "JsonlEventWriter",
+    "LiveRenderer",
+    "ResultCache",
+    "aborted_result",
+    "read_event_log",
+    "register_method",
+    "run_job",
+    "run_portfolio",
+    "unregister_method",
+]

@@ -1,0 +1,92 @@
+"""Disk-backed verification result cache.
+
+Entries are keyed by :meth:`repro.service.job.JobSpec.cache_key` — a
+structural hash of the (spec, impl, method, options) tuple — so repeated
+suite runs and ablation sweeps skip every already-solved job.  One JSON
+file per entry under a two-character fan-out directory; writes go through a
+temp file + ``os.replace`` so concurrent writers (parallel schedulers
+sharing a cache directory) never expose half-written entries.
+"""
+
+import json
+import os
+import tempfile
+
+from ..reach.result import SecResult
+from .job import CACHE_FORMAT_VERSION
+
+
+class ResultCache:
+    """Maps cache keys to :class:`SecResult` records on disk."""
+
+    def __init__(self, root, cache_inconclusive=True):
+        self.root = str(root)
+        self.cache_inconclusive = cache_inconclusive
+        self.hits = 0
+        self.misses = 0
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, key):
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, key):
+        """The cached :class:`SecResult` for ``key``, or ``None``."""
+        try:
+            with open(self._path(key)) as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if entry.get("version") != CACHE_FORMAT_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return SecResult.from_dict(entry["result"])
+
+    def put(self, key, result, meta=None):
+        """Store ``result`` under ``key``; returns True if written."""
+        if result.inconclusive and not self.cache_inconclusive:
+            return False
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {
+            "version": CACHE_FORMAT_VERSION,
+            "key": key,
+            "result": result.as_dict(),
+            "meta": dict(meta or {}),
+        }
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return True
+
+    def __contains__(self, key):
+        return os.path.exists(self._path(key))
+
+    def __len__(self):
+        count = 0
+        for _, _, files in os.walk(self.root):
+            count += sum(1 for name in files if name.endswith(".json"))
+        return count
+
+    def clear(self):
+        """Delete every entry (the directory itself is kept)."""
+        for dirpath, _, files in os.walk(self.root):
+            for name in files:
+                if name.endswith(".json"):
+                    try:
+                        os.unlink(os.path.join(dirpath, name))
+                    except OSError:
+                        pass
+
+    def stats(self):
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self)}

@@ -1,0 +1,140 @@
+"""Structured event stream for the verification service.
+
+Every observable step of a batch or portfolio run — job queued, started,
+fixpoint iteration, retiming round, cache hit, retry, finish — is published
+as an :class:`Event` on an :class:`EventBus`.  Subscribers are plain
+callables; the two shipped consumers are :class:`JsonlEventWriter` (the
+machine-readable run log) and :class:`repro.service.render.LiveRenderer`
+(the human-readable progress view).
+
+Events cross process boundaries as plain dicts (see
+:meth:`Event.as_dict` / :meth:`Event.from_dict`), so worker processes can
+forward them to the parent over a ``multiprocessing.Queue``.
+"""
+
+import json
+import time
+
+
+# Event types emitted by the service layer.  Kept as module constants so
+# consumers can filter without string typos.
+BATCH_STARTED = "batch_started"
+BATCH_FINISHED = "batch_finished"
+JOB_QUEUED = "job_queued"
+JOB_STARTED = "job_started"
+JOB_PROGRESS = "job_progress"
+JOB_FINISHED = "job_finished"
+JOB_CACHED = "job_cached"
+JOB_RETRY = "job_retry"
+JOB_FALLBACK = "job_fallback"
+PORTFOLIO_STARTED = "portfolio_started"
+ENGINE_STARTED = "engine_started"
+ENGINE_FINISHED = "engine_finished"
+ENGINE_WON = "engine_won"
+ENGINE_CANCELLED = "engine_cancelled"
+
+
+class Event:
+    """One timestamped service event.
+
+    ``type`` is one of the module constants above, ``job`` names the job (or
+    ``None`` for batch-level events) and ``data`` is a JSON-serializable
+    payload (verdict, iteration counts, peak BDD nodes, wall time, ...).
+    """
+
+    __slots__ = ("ts", "type", "job", "data")
+
+    def __init__(self, type, job=None, data=None, ts=None):
+        self.ts = time.time() if ts is None else ts
+        self.type = type
+        self.job = job
+        self.data = dict(data or {})
+
+    def as_dict(self):
+        return {"ts": self.ts, "type": self.type, "job": self.job,
+                "data": self.data}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(payload["type"], job=payload.get("job"),
+                   data=payload.get("data"), ts=payload.get("ts"))
+
+    def __repr__(self):
+        return "Event({}, job={!r}, {})".format(self.type, self.job, self.data)
+
+
+class EventBus:
+    """Synchronous fan-out of events to subscribers.
+
+    A misbehaving subscriber must not take the batch down, so exceptions
+    raised by subscribers are swallowed (recorded in ``subscriber_errors``
+    for diagnosis).
+    """
+
+    def __init__(self):
+        self._subscribers = []
+        self.subscriber_errors = 0
+
+    def subscribe(self, callback):
+        """Register ``callback(event)``; returns it (for unsubscribe)."""
+        self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback):
+        self._subscribers.remove(callback)
+
+    def publish(self, event):
+        for callback in list(self._subscribers):
+            try:
+                callback(event)
+            except Exception:
+                self.subscriber_errors += 1
+        return event
+
+    def emit(self, type, job=None, **data):
+        """Build and publish an event in one call; returns the event."""
+        return self.publish(Event(type, job=job, data=data))
+
+
+class JsonlEventWriter:
+    """Subscriber appending one JSON object per event to a file.
+
+    Usable as a context manager::
+
+        with JsonlEventWriter(path) as writer:
+            bus.subscribe(writer)
+            ...
+    """
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._fh = open(self.path, "a")
+        self.events_written = 0
+
+    def __call__(self, event):
+        json.dump(event.as_dict(), self._fh, sort_keys=True)
+        self._fh.write("\n")
+        self._fh.flush()
+        self.events_written += 1
+
+    def close(self):
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def read_event_log(path):
+    """Parse a JSONL event log back into a list of :class:`Event`."""
+    events = []
+    with open(str(path)) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(Event.from_dict(json.loads(line)))
+    return events

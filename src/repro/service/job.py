@@ -1,0 +1,145 @@
+"""Verification job descriptions and outcomes.
+
+A :class:`JobSpec` is the unit of work the service schedules: one
+(spec, impl) circuit pair, one engine, one option set.  Its
+:meth:`JobSpec.cache_key` is a structural hash — renaming nets or
+re-deriving an identical pair hits the same cache entry — computed from
+:func:`repro.netlist.strash.structural_fingerprint` of both circuits plus
+the canonicalized method/options tuple.
+
+A :class:`JobResult` wraps the engine's :class:`~repro.reach.SecResult`
+with service-level provenance: cache hit, retry count, crash errors,
+scheduler wall time.
+"""
+
+import hashlib
+import json
+
+from ..netlist.strash import structural_fingerprint
+from ..reach.result import SecResult
+
+#: Bump when the cache entry layout or engine semantics change
+#: incompatibly; old entries then miss instead of returning stale verdicts.
+CACHE_FORMAT_VERSION = 1
+
+
+class JobSpec:
+    """One schedulable verification problem.
+
+    ``options`` must be JSON-serializable (they are part of the cache key
+    and of the event stream); runtime-only hooks (progress callbacks,
+    cancellation) are injected by the worker, never stored here.
+    """
+
+    def __init__(self, name, spec, impl, method="van_eijk", options=None,
+                 match_inputs="name", match_outputs="order", tags=None):
+        self.name = name
+        self.spec = spec
+        self.impl = impl
+        self.method = method
+        self.options = dict(options or {})
+        self.match_inputs = match_inputs
+        self.match_outputs = match_outputs
+        self.tags = dict(tags or {})
+        self._cache_key = None
+        # Fail fast on un-serializable options: a TypeError here is a bug at
+        # the submission site, not deep inside a worker process.
+        json.dumps(self.options, sort_keys=True)
+
+    def cache_key(self):
+        """Structural hash identifying this problem; stable across runs."""
+        if self._cache_key is None:
+            payload = json.dumps(
+                {
+                    "version": CACHE_FORMAT_VERSION,
+                    "spec": structural_fingerprint(self.spec),
+                    "impl": structural_fingerprint(self.impl),
+                    "method": self.method,
+                    "options": self.options,
+                    "match_inputs": self.match_inputs,
+                    "match_outputs": self.match_outputs,
+                },
+                sort_keys=True,
+            )
+            self._cache_key = hashlib.sha256(
+                payload.encode("utf-8")).hexdigest()
+        return self._cache_key
+
+    def describe(self):
+        """JSON-serializable summary for the event stream."""
+        return {
+            "name": self.name,
+            "method": self.method,
+            "options": self.options,
+            "spec": self.spec.name,
+            "impl": self.impl.name,
+            "tags": self.tags,
+        }
+
+    def __repr__(self):
+        return "JobSpec({!r}, method={}, spec={!r}, impl={!r})".format(
+            self.name, self.method, self.spec.name, self.impl.name
+        )
+
+
+class JobResult:
+    """Outcome of one scheduled job.
+
+    ``result`` is the engine's :class:`SecResult` (or an inconclusive
+    placeholder when the job crashed repeatedly / was aborted by the batch
+    budget); ``error`` carries the crash description in that case.
+    """
+
+    def __init__(self, name, result, cached=False, attempts=1,
+                 wall_seconds=None, error=None, method=None):
+        self.name = name
+        self.result = result
+        self.cached = cached
+        self.attempts = attempts
+        self.wall_seconds = wall_seconds
+        self.error = error
+        self.method = method or (result.method if result is not None else None)
+
+    @property
+    def verdict(self):
+        return None if self.result is None else self.result.equivalent
+
+    def as_dict(self):
+        return {
+            "name": self.name,
+            "method": self.method,
+            "cached": self.cached,
+            "attempts": self.attempts,
+            "wall_seconds": self.wall_seconds,
+            "error": self.error,
+            "result": None if self.result is None else self.result.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        result = data.get("result")
+        return cls(
+            name=data.get("name"),
+            result=None if result is None else SecResult.from_dict(result),
+            cached=data.get("cached", False),
+            attempts=data.get("attempts", 1),
+            wall_seconds=data.get("wall_seconds"),
+            error=data.get("error"),
+            method=data.get("method"),
+        )
+
+    def __repr__(self):
+        return "JobResult({!r}, verdict={}, cached={}, attempts={})".format(
+            self.name, self.verdict, self.cached, self.attempts
+        )
+
+
+def aborted_result(method, reason, seconds=None):
+    """An inconclusive :class:`SecResult` standing in for a run that never
+    produced one (crash, hard kill, batch budget)."""
+    return SecResult(
+        equivalent=None,
+        method=method,
+        seconds=seconds,
+        details={"aborted": reason},
+    )

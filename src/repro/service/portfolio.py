@@ -1,0 +1,192 @@
+"""Portfolio verification: race complementary engines on one pair.
+
+The three default lanes cover each other's blind spots, the hybrid-engine
+insight from the parallel-CEC literature applied to van Eijk's setting:
+
+* ``van_eijk`` — the paper's prover: fast on retimed/resynthesized pairs,
+  cannot refute beyond what its random simulation happens to hit;
+* ``bmc`` — a complete falsifier up to a depth bound: finds shortest
+  counterexamples that simulation misses, never proves;
+* ``traversal`` — the complete-but-expensive baseline: decides anything
+  whose reachable state space fits in the node budget.
+
+All lanes run as separate worker processes; the first *conclusive* verdict
+(proved or refuted) wins the race, and the losing lanes are cancelled with
+SIGTERM→SIGKILL escalation (see
+:func:`repro.service.procs.terminate_gracefully`).  If every lane finishes
+inconclusive, the preferred lane's result (first in ``methods``) is
+returned so callers still see iteration counts and abort reasons.
+"""
+
+import time
+
+from .events import (
+    ENGINE_CANCELLED,
+    ENGINE_FINISHED,
+    ENGINE_STARTED,
+    ENGINE_WON,
+    Event,
+    EventBus,
+    PORTFOLIO_STARTED,
+)
+from .job import JobResult, JobSpec, aborted_result
+from .procs import drain_queue, get_context, start_worker, terminate_gracefully
+
+DEFAULT_PORTFOLIO_METHODS = ("van_eijk", "bmc", "traversal")
+
+_POLL_INTERVAL = 0.05
+
+
+def run_portfolio(spec, impl, methods=DEFAULT_PORTFOLIO_METHODS,
+                  per_method_options=None, time_limit=None,
+                  match_inputs="name", match_outputs="order",
+                  bus=None, grace=2.0, name=None):
+    """Race ``methods`` on one pair; returns the winning ``SecResult``.
+
+    ``per_method_options`` maps method name to that engine's option dict;
+    ``time_limit`` (seconds) additionally bounds every lane and the race
+    itself.  The returned result carries a ``details["portfolio"]`` record
+    naming the winner and each lane's fate.
+    """
+    if not methods:
+        raise ValueError("portfolio needs at least one method")
+    bus = bus or EventBus()
+    name = name or "{}~{}".format(spec.name, impl.name)
+    per_method_options = per_method_options or {}
+    jobs = {}
+    for method in methods:
+        options = dict(per_method_options.get(method, {}))
+        if time_limit is not None:
+            options.setdefault("time_limit", time_limit)
+        jobs[method] = JobSpec(name, spec, impl, method=method,
+                               options=options, match_inputs=match_inputs,
+                               match_outputs=match_outputs)
+    bus.emit(PORTFOLIO_STARTED, job=name, methods=list(methods),
+             time_limit=time_limit)
+
+    ctx = get_context()
+    event_queue = ctx.Queue()
+    result_queue = ctx.Queue()
+    procs = {}
+    for method in methods:
+        procs[method] = start_worker(ctx, jobs[method], method,
+                                     event_queue, result_queue)
+        bus.emit(ENGINE_STARTED, job=name, method=method,
+                 pid=procs[method].pid)
+
+    start = time.monotonic()
+    deadline = None if time_limit is None else start + time_limit + grace
+    results = {}
+    status = {method: "running" for method in methods}
+    winner = None
+    try:
+        while winner is None:
+            _forward_events(event_queue, bus)
+            _collect_results(result_queue, results, status, bus, name)
+            winner = _find_winner(methods, results)
+            if winner is not None:
+                break
+            for method, proc in procs.items():
+                if status[method] == "running" and not proc.is_alive():
+                    proc.join()
+                    if method not in results:
+                        status[method] = "crashed"
+                        results[method] = aborted_result(
+                            method, "worker crashed (exit code {})".format(
+                                proc.exitcode))
+                        bus.emit(ENGINE_FINISHED, job=name, method=method,
+                                 verdict=None, crashed=True)
+            if all(s != "running" for s in status.values()):
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                break
+            time.sleep(_POLL_INTERVAL)
+    finally:
+        fates = terminate_gracefully(list(procs.values()), grace=grace)
+        for method, proc in procs.items():
+            if status[method] != "running":
+                continue
+            fate = fates[proc]
+            if fate in ("terminated", "killed"):
+                status[method] = "cancelled"
+                bus.emit(ENGINE_CANCELLED, job=name, method=method,
+                         escalated=fate == "killed")
+            elif proc.exitcode != 0:
+                # The lane died on its own before the race was decided but
+                # after the last in-loop liveness check.
+                status[method] = "crashed"
+                results.setdefault(method, aborted_result(
+                    method, "worker crashed (exit code {})".format(
+                        proc.exitcode)))
+                bus.emit(ENGINE_FINISHED, job=name, method=method,
+                         verdict=None, crashed=True)
+            else:
+                status[method] = "finished"
+        # Late results from cancelled lanes (posted between the decision
+        # and the SIGTERM) are still drained so the queues shut down clean.
+        _forward_events(event_queue, bus)
+        _collect_results(result_queue, results, status, bus, name,
+                         quiet=True)
+        event_queue.close()
+        result_queue.close()
+
+    elapsed = time.monotonic() - start
+    if winner is not None:
+        status[winner] = "won"
+        result = results[winner]
+        bus.emit(ENGINE_WON, job=name, method=winner,
+                 verdict=result.equivalent, seconds=elapsed)
+    else:
+        result = None
+        for method in methods:
+            candidate = results.get(method)
+            if candidate is not None:
+                result = candidate
+                break
+        if result is None:
+            reason = ("portfolio time budget exhausted"
+                      if deadline is not None and time.monotonic() >= deadline
+                      else "all portfolio lanes failed")
+            result = aborted_result("portfolio", reason, seconds=elapsed)
+    result.details = dict(
+        result.details,
+        portfolio={"winner": winner, "lanes": dict(status)},
+    )
+    return result
+
+
+def _forward_events(event_queue, bus):
+    for payload in drain_queue(event_queue):
+        bus.publish(Event.from_dict(payload))
+
+
+def _collect_results(result_queue, results, status, bus, name, quiet=False):
+    for message in drain_queue(result_queue):
+        kind, method, payload = message
+        if kind == "result":
+            job_result = JobResult.from_dict(payload)
+            results.setdefault(method, job_result.result)
+            if status.get(method) == "running":
+                status[method] = "finished"
+            if not quiet:
+                bus.emit(ENGINE_FINISHED, job=name, method=method,
+                         verdict=job_result.result.equivalent,
+                         seconds=job_result.result.seconds,
+                         peak_nodes=job_result.result.peak_nodes)
+        else:  # engine raised: record as a failed lane
+            results.setdefault(
+                method, aborted_result(method, "engine error"))
+            if status.get(method) == "running":
+                status[method] = "error"
+            if not quiet:
+                bus.emit(ENGINE_FINISHED, job=name, method=method,
+                         verdict=None, error=payload.splitlines()[-1])
+
+
+def _find_winner(methods, results):
+    """First method (in portfolio order) with a conclusive verdict."""
+    for method in methods:
+        result = results.get(method)
+        if result is not None and result.equivalent is not None:
+            return method
+    return None

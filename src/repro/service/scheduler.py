@@ -1,0 +1,368 @@
+"""Bounded-parallel batch verification with retries, fallback and caching.
+
+:class:`BatchScheduler` runs many :class:`~repro.service.job.JobSpec`\\ s
+concurrently across worker processes:
+
+* at most ``workers`` jobs run at once (``workers=0`` executes inline in
+  the calling process — the degenerate sequential mode the evaluation
+  harness uses by default);
+* solved jobs are skipped via the :class:`~repro.service.cache.ResultCache`
+  (structural hashing: re-deriving an identical pair still hits);
+* a worker that *crashes* (nonzero exit without a result) is retried up to
+  ``retries`` times; a job whose engine finishes *inconclusive* can be
+  resubmitted once on a ``fallback_method`` (e.g. ``bmc`` to hunt for a
+  counterexample after the prover gives up);
+* ``total_time_limit`` bounds the whole batch — running workers are
+  cancelled gracefully and unstarted jobs are marked aborted;
+  ``job_time_limit`` seeds each engine's own budget and backs it with a
+  hard kill at ``job_time_limit + grace``;
+* every step is published on the :class:`~repro.service.events.EventBus`.
+
+Results come back in submission order, one :class:`JobResult` per job.
+"""
+
+import time
+
+from .cache import ResultCache  # noqa: F401  (re-exported convenience)
+from .events import (
+    BATCH_FINISHED,
+    BATCH_STARTED,
+    Event,
+    EventBus,
+    JOB_CACHED,
+    JOB_FALLBACK,
+    JOB_FINISHED,
+    JOB_QUEUED,
+    JOB_RETRY,
+    JOB_STARTED,
+)
+from .job import JobResult, JobSpec, aborted_result
+from .procs import drain_queue, get_context, start_worker, terminate_gracefully
+from .worker import run_job
+
+_POLL_INTERVAL = 0.05
+
+# Engines whose option dicts accept a time budget (job_time_limit seeding).
+_TIMED_METHODS = ("van_eijk", "traversal", "bmc", "sat_sweep")
+
+
+class BatchScheduler:
+    """Runs job batches under global budgets; see the module docstring."""
+
+    def __init__(self, workers=2, cache=None, bus=None, retries=1,
+                 fallback_method=None, fallback_options=None,
+                 job_time_limit=None, total_time_limit=None,
+                 node_limit=None, grace=2.0):
+        self.workers = workers
+        self.cache = cache
+        self.bus = bus or EventBus()
+        self.retries = retries
+        self.fallback_method = fallback_method
+        self.fallback_options = dict(fallback_options or {})
+        self.job_time_limit = job_time_limit
+        self.total_time_limit = total_time_limit
+        self.node_limit = node_limit
+        self.grace = grace
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, jobs):
+        """Execute ``jobs``; returns a :class:`JobResult` list in order."""
+        jobs = [self._budgeted(job) for job in jobs]
+        start = time.monotonic()
+        self.bus.emit(BATCH_STARTED, jobs=len(jobs), workers=self.workers)
+        results = [None] * len(jobs)
+        pending = []
+        for index, job in enumerate(jobs):
+            self.bus.emit(JOB_QUEUED, job=job.name, index=index,
+                          **{"method": job.method})
+            cached = self._cache_lookup(job)
+            if cached is not None:
+                results[index] = JobResult(job.name, cached, cached=True,
+                                           wall_seconds=0.0,
+                                           method=job.method)
+                self.bus.emit(JOB_CACHED, job=job.name, index=index,
+                              verdict=cached.equivalent, method=job.method)
+            else:
+                pending.append(_Attempt(index, job))
+        if pending:
+            if self.workers <= 0:
+                self._run_inline(pending, results, start)
+            else:
+                self._run_pool(pending, results, start)
+        self.bus.emit(
+            BATCH_FINISHED,
+            jobs=len(jobs),
+            seconds=time.monotonic() - start,
+            cached=sum(1 for r in results if r is not None and r.cached),
+            proved=sum(1 for r in results if r.verdict is True),
+            refuted=sum(1 for r in results if r.verdict is False),
+            undecided=sum(1 for r in results if r.verdict is None),
+        )
+        return results
+
+    # -- shared helpers -----------------------------------------------------
+
+    def _budgeted(self, job):
+        """Seed per-job engine budgets from the scheduler's defaults."""
+        options = dict(job.options)
+        if (self.job_time_limit is not None
+                and job.method in _TIMED_METHODS):
+            options.setdefault("time_limit", self.job_time_limit)
+        if (self.node_limit is not None
+                and job.method in ("van_eijk", "traversal")):
+            options.setdefault("node_limit", self.node_limit)
+        if options == job.options:
+            return job
+        return JobSpec(job.name, job.spec, job.impl, method=job.method,
+                       options=options, match_inputs=job.match_inputs,
+                       match_outputs=job.match_outputs, tags=job.tags)
+
+    def _cache_lookup(self, job):
+        if self.cache is None:
+            return None
+        return self.cache.get(job.cache_key())
+
+    def _cache_store(self, job, result):
+        if self.cache is not None and result is not None:
+            self.cache.put(job.cache_key(), result,
+                           meta={"job": job.name, "method": job.method})
+
+    def _deadline(self, start):
+        if self.total_time_limit is None:
+            return None
+        return start + self.total_time_limit
+
+    def _finalize(self, attempt, result, results, pending, wall_seconds):
+        """Record a finished engine run; may queue a fallback attempt."""
+        job = attempt.job
+        if (result.inconclusive and not attempt.is_fallback
+                and self.fallback_method is not None
+                and job.method != self.fallback_method):
+            fallback_job = JobSpec(
+                job.name, job.spec, job.impl, method=self.fallback_method,
+                options=dict(self.fallback_options),
+                match_inputs=job.match_inputs,
+                match_outputs=job.match_outputs, tags=job.tags,
+            )
+            self.bus.emit(JOB_FALLBACK, job=job.name, index=attempt.index,
+                          method=self.fallback_method,
+                          primary_method=job.method)
+            pending.append(_Attempt(attempt.index, self._budgeted(fallback_job),
+                                    is_fallback=True,
+                                    primary_result=result,
+                                    attempts_so_far=attempt.number))
+            return
+        if attempt.is_fallback and result.inconclusive:
+            # Fallback did not decide either: keep the primary engine's
+            # richer result (iteration counts, abort reason).
+            result = attempt.primary_result
+            result.details = dict(result.details,
+                                  fallback_inconclusive=self.fallback_method)
+        elif attempt.is_fallback:
+            result.details = dict(result.details,
+                                  fallback_for=job.name)
+        self._cache_store(job, result)
+        results[attempt.index] = JobResult(
+            job.name, result, attempts=attempt.number,
+            wall_seconds=wall_seconds, method=result.method)
+        self.bus.emit(JOB_FINISHED, job=job.name, index=attempt.index,
+                      verdict=result.equivalent, method=result.method,
+                      seconds=result.seconds, peak_nodes=result.peak_nodes,
+                      attempts=attempt.number)
+
+    # -- inline (workers=0) -------------------------------------------------
+
+    def _run_inline(self, pending, results, start):
+        deadline = self._deadline(start)
+        while pending:
+            attempt = pending.pop(0)
+            if deadline is not None and time.monotonic() > deadline:
+                self._abort_remaining([attempt] + pending, results)
+                return
+            self.bus.emit(JOB_STARTED, job=attempt.job.name,
+                          index=attempt.index, method=attempt.job.method,
+                          inline=True)
+            t0 = time.monotonic()
+            try:
+                result = run_job(attempt.job, emit=self.bus.publish)
+            except Exception as exc:
+                result = aborted_result(attempt.job.method,
+                                        "engine error: {!r}".format(exc))
+            self._finalize(attempt, result, results, pending,
+                           time.monotonic() - t0)
+
+    # -- process pool -------------------------------------------------------
+
+    def _run_pool(self, pending, results, start):
+        ctx = get_context()
+        event_queue = ctx.Queue()
+        result_queue = ctx.Queue()
+        running = {}  # token -> _Running
+        token_counter = 0
+        deadline = self._deadline(start)
+        try:
+            while pending or running:
+                if deadline is not None and time.monotonic() > deadline:
+                    self._cancel_running(running, results)
+                    self._abort_remaining(pending, results)
+                    return
+                while pending and len(running) < self.workers:
+                    attempt = pending.pop(0)
+                    token_counter += 1
+                    proc = start_worker(ctx, attempt.job, token_counter,
+                                        event_queue, result_queue)
+                    running[token_counter] = _Running(attempt, proc)
+                    self.bus.emit(JOB_STARTED, job=attempt.job.name,
+                                  index=attempt.index,
+                                  method=attempt.job.method,
+                                  attempt=attempt.number, pid=proc.pid)
+                for payload in drain_queue(event_queue):
+                    self.bus.publish(Event.from_dict(payload))
+                for kind, token, payload in drain_queue(result_queue):
+                    run = running.get(token)
+                    if run is None:
+                        continue
+                    run.outcome = (kind, payload)
+                self._reap(running, results, pending)
+                self._enforce_job_timeout(running)
+                if running and not pending:
+                    time.sleep(_POLL_INTERVAL)
+                elif running:
+                    time.sleep(_POLL_INTERVAL / 5)
+        finally:
+            terminate_gracefully([r.proc for r in running.values()],
+                                 grace=self.grace)
+            for payload in drain_queue(event_queue):
+                self.bus.publish(Event.from_dict(payload))
+            event_queue.close()
+            result_queue.close()
+
+    def _reap(self, running, results, pending):
+        for token in list(running):
+            run = running[token]
+            if run.outcome is None and run.proc.is_alive():
+                continue
+            if run.outcome is None:
+                # Exited without reporting: give the queue a beat to
+                # deliver a result raced with process death.
+                run.proc.join()
+                if run.grace_polls < 3:
+                    run.grace_polls += 1
+                    continue
+            del running[token]
+            attempt = run.attempt
+            wall = time.monotonic() - run.started
+            if run.outcome is not None:
+                run.proc.join()
+                kind, payload = run.outcome
+                if kind == "result":
+                    self._finalize(attempt,
+                                   JobResult.from_dict(payload).result,
+                                   results, pending, wall)
+                else:
+                    self._crash(attempt, "engine error:\n" + payload,
+                                results, pending)
+            else:
+                self._crash(
+                    attempt,
+                    "worker crashed (exit code {})".format(run.proc.exitcode),
+                    results, pending,
+                    timed_out=run.timed_out,
+                )
+
+    def _crash(self, attempt, reason, results, pending, timed_out=False):
+        job = attempt.job
+        if timed_out:
+            result = aborted_result(job.method, "job time budget exhausted")
+            self._finalize(attempt, result, results, pending, None)
+            return
+        if attempt.number <= self.retries:
+            self.bus.emit(JOB_RETRY, job=job.name, index=attempt.index,
+                          attempt=attempt.number + 1, reason=reason)
+            pending.append(attempt.retry())
+            return
+        result = aborted_result(job.method, reason)
+        results[attempt.index] = JobResult(
+            job.name, result, attempts=attempt.number, error=reason,
+            method=job.method)
+        self.bus.emit(JOB_FINISHED, job=job.name, index=attempt.index,
+                      verdict=None, method=job.method, error=reason,
+                      attempts=attempt.number)
+
+    def _enforce_job_timeout(self, running):
+        """Hard-kill guard above the engines' cooperative budgets."""
+        if self.job_time_limit is None:
+            return
+        limit = self.job_time_limit + self.grace
+        for run in running.values():
+            if (run.outcome is None and not run.timed_out
+                    and time.monotonic() - run.started > limit):
+                run.timed_out = True
+                run.proc.terminate()
+
+    def _cancel_running(self, running, results):
+        terminate_gracefully([r.proc for r in running.values()],
+                             grace=self.grace)
+        for run in running.values():
+            attempt = run.attempt
+            result = aborted_result(attempt.job.method,
+                                    "batch time budget exhausted")
+            results[attempt.index] = JobResult(
+                attempt.job.name, result, attempts=attempt.number,
+                method=attempt.job.method)
+            self.bus.emit(JOB_FINISHED, job=attempt.job.name,
+                          index=attempt.index, verdict=None,
+                          method=attempt.job.method,
+                          error="batch time budget exhausted",
+                          attempts=attempt.number)
+        running.clear()
+
+    def _abort_remaining(self, pending, results):
+        for attempt in pending:
+            result = aborted_result(attempt.job.method,
+                                    "batch time budget exhausted")
+            results[attempt.index] = JobResult(
+                attempt.job.name, result, attempts=attempt.number - 1,
+                method=attempt.job.method)
+            self.bus.emit(JOB_FINISHED, job=attempt.job.name,
+                          index=attempt.index, verdict=None,
+                          method=attempt.job.method,
+                          error="batch time budget exhausted",
+                          attempts=attempt.number - 1)
+        del pending[:]
+
+
+class _Attempt:
+    """One (re)submission of a job slot."""
+
+    __slots__ = ("index", "job", "number", "is_fallback", "primary_result")
+
+    def __init__(self, index, job, number=1, is_fallback=False,
+                 primary_result=None, attempts_so_far=0):
+        self.index = index
+        self.job = job
+        self.number = number + attempts_so_far
+        self.is_fallback = is_fallback
+        self.primary_result = primary_result
+
+    def retry(self):
+        clone = _Attempt(self.index, self.job, number=self.number + 1,
+                         is_fallback=self.is_fallback,
+                         primary_result=self.primary_result)
+        return clone
+
+
+class _Running:
+    """Bookkeeping for one live worker process."""
+
+    __slots__ = ("attempt", "proc", "started", "outcome", "timed_out",
+                 "grace_polls")
+
+    def __init__(self, attempt, proc):
+        self.attempt = attempt
+        self.proc = proc
+        self.started = time.monotonic()
+        self.outcome = None
+        self.timed_out = False
+        self.grace_polls = 0

@@ -1,0 +1,135 @@
+"""Worker-side job execution.
+
+:func:`run_job` dispatches a :class:`~repro.service.job.JobSpec` to the
+right engine with progress/cancellation hooks injected;
+:func:`worker_entry` is the ``multiprocessing.Process`` target wrapping it
+with the cross-process plumbing:
+
+* engine progress callbacks become ``job_progress`` event dicts on the
+  parent's event queue;
+* ``SIGTERM`` is caught and translated into *cooperative* cancellation —
+  the engine notices at its next iteration boundary and returns an
+  inconclusive ("cancelled") result, so the worker exits cleanly with its
+  BDD/SAT state unwound instead of dying mid-operation.  Parents escalate
+  to ``SIGKILL`` only after a grace period (see portfolio/scheduler).
+
+Additional engines can be registered with :func:`register_method`; under
+the default ``fork`` start method a registration made in the parent (e.g.
+by a test) is visible to workers.
+"""
+
+import signal
+import threading
+import time
+import traceback
+
+from ..netlist.product import build_product
+from .events import JOB_PROGRESS, Event
+from .job import JobResult, aborted_result
+
+#: name -> runner(job, progress, cancel_check) for engines beyond the
+#: built-in five (used by tests and downstream extensions).
+_EXTRA_METHODS = {}
+
+
+def register_method(name, runner):
+    """Register ``runner(job, progress, cancel_check) -> SecResult``."""
+    _EXTRA_METHODS[name] = runner
+
+
+def unregister_method(name):
+    _EXTRA_METHODS.pop(name, None)
+
+
+def run_job(job, emit=None, cancel_check=None):
+    """Execute one job in the current process; returns a ``SecResult``.
+
+    ``emit(event)`` receives :class:`Event` objects for engine progress;
+    ``cancel_check()`` is polled by the engines at iteration boundaries.
+    """
+
+    def progress(kind, **data):
+        if emit is not None:
+            data = dict(data)
+            data["kind"] = kind
+            emit(Event(JOB_PROGRESS, job=job.name, data=data))
+
+    if cancel_check is not None and cancel_check():
+        return aborted_result(job.method, "cancelled")
+    runner = _EXTRA_METHODS.get(job.method)
+    if runner is not None:
+        return runner(job, progress, cancel_check)
+    options = dict(job.options)
+    if job.method == "van_eijk":
+        from ..core.engine import VanEijkVerifier
+
+        verifier = VanEijkVerifier(progress=progress,
+                                   cancel_check=cancel_check, **options)
+        return verifier.verify(job.spec, job.impl,
+                               match_inputs=job.match_inputs,
+                               match_outputs=job.match_outputs)
+    if job.method == "sat_sweep":
+        from ..core.satbackend import check_equivalence_sat_sweep
+
+        return check_equivalence_sat_sweep(
+            job.spec, job.impl, match_inputs=job.match_inputs,
+            match_outputs=job.match_outputs, **options)
+    product = build_product(job.spec, job.impl,
+                            match_inputs=job.match_inputs,
+                            match_outputs=job.match_outputs)
+    if job.method == "bmc":
+        from ..core.bmc import bmc_refute
+
+        return bmc_refute(product, progress=progress,
+                          cancel_check=cancel_check, **options)
+    if job.method == "traversal":
+        from ..reach.traversal import check_equivalence_traversal
+
+        return check_equivalence_traversal(
+            product, progress=progress, cancel_check=cancel_check, **options)
+    if job.method == "explicit":
+        from ..reach.explicit import explicit_check_equivalence
+
+        return explicit_check_equivalence(product, **options)
+    raise ValueError("unknown job method {!r}".format(job.method))
+
+
+def worker_entry(job, token, event_queue, result_queue):
+    """Process target: run ``job`` and report on ``result_queue``.
+
+    ``token`` is an opaque identifier the parent uses to route the result
+    (job index for the scheduler, method name for the portfolio).  The
+    result message is ``("result", token, JobResult-dict)`` on success or
+    ``("error", token, traceback-string)`` on an engine exception; a crash
+    (hard kill, segfault, ``os._exit``) sends nothing — parents detect it
+    from the exit code.
+    """
+    cancelled = threading.Event()
+
+    def on_sigterm(signum, frame):
+        cancelled.set()
+
+    signal.signal(signal.SIGTERM, on_sigterm)
+
+    def emit(event):
+        try:
+            event_queue.put(event.as_dict())
+        except Exception:
+            pass  # never let telemetry take the engine down
+
+    started = time.monotonic()
+    try:
+        result = run_job(job, emit=emit, cancel_check=cancelled.is_set)
+        payload = JobResult(
+            job.name, result,
+            wall_seconds=time.monotonic() - started,
+            method=job.method,
+        ).as_dict()
+        result_queue.put(("result", token, payload))
+    except Exception:
+        result_queue.put(("error", token, traceback.format_exc()))
+    finally:
+        result_queue.close()
+        result_queue.join_thread()
+        event_queue.close()
+        event_queue.join_thread()

@@ -2,8 +2,11 @@
 
 import random
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.circuits import generate_benchmark
+from repro.errors import NetlistError
 from repro.netlist import (
     Circuit,
     GateType,
@@ -45,6 +48,48 @@ def test_bit_parallel_matches_reference(seed, pattern_seed):
         expected = reference_eval(circuit, env_bool)
         for net, word in words.items():
             assert bool((word >> bit) & 1) == expected[net], net
+
+
+def test_bit_parallel_missing_input_names_net():
+    c = toggle_circuit()
+    with pytest.raises(NetlistError, match="input net 'en'"):
+        bit_parallel_eval(c, {"q": 0}, 1)
+
+
+def test_bit_parallel_missing_register_names_net():
+    c = toggle_circuit()
+    with pytest.raises(NetlistError, match="register net 'q'"):
+        bit_parallel_eval(c, {"en": 1}, 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2 ** 30),
+    st.integers(min_value=0, max_value=2 ** 30),
+    st.integers(min_value=2, max_value=29),
+)
+def test_bit_parallel_matches_single_eval_on_generated(seed, pattern_seed,
+                                                      width):
+    """Width-w packed evaluation must agree with single_eval per pattern on
+    the benchmark generator's circuits (the suite's structural families)."""
+    circuit = generate_benchmark("prop", n_regs=5, n_inputs=3,
+                                 seed=seed % 997)
+    rng = random.Random(pattern_seed)
+    env = {
+        net: rng.getrandbits(width)
+        for net in list(circuit.inputs) + list(circuit.registers)
+    }
+    words = bit_parallel_eval(circuit, env, width)
+    for bit in range(width):
+        inputs = {
+            net: bool((env[net] >> bit) & 1) for net in circuit.inputs
+        }
+        state = {
+            net: bool((env[net] >> bit) & 1) for net in circuit.registers
+        }
+        expected = single_eval(circuit, inputs, state)
+        for net, word in words.items():
+            assert bool((word >> bit) & 1) == expected[net], (net, bit)
 
 
 def test_single_eval_toggle():

@@ -1,5 +1,7 @@
 """Command-line interface tests."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -88,6 +90,91 @@ def test_table1_quick(capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "circuit" in out
+    assert "s838" in out
+
+
+def test_verify_json_output(circuit_files, capsys):
+    code = main(["verify", str(circuit_files["spec"]),
+                 str(circuit_files["impl"]), "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["verdict"] == "equivalent"
+    assert payload["equivalent"] is True
+    assert payload["method"] == "van_eijk"
+    assert payload["seconds"] >= 0
+    assert payload["counterexample"] is None
+    assert payload["details"]["eqs_percent"] is not None
+    assert payload["spec"] == str(circuit_files["spec"])
+
+
+def test_verify_json_counterexample(circuit_files, capsys):
+    code = main(["verify", str(circuit_files["spec"]),
+                 str(circuit_files["buggy"]), "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 2
+    assert payload["verdict"] == "inequivalent"
+    assert payload["counterexample"]["final_input"]
+
+
+def test_verify_portfolio(circuit_files, capsys):
+    code = main(["verify", str(circuit_files["spec"]),
+                 str(circuit_files["impl"]), "--portfolio",
+                 "--time-limit", "120"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "EQUIVALENT" in out
+    assert "portfolio" in out
+
+
+def test_verify_portfolio_json(circuit_files, capsys):
+    code = main(["verify", str(circuit_files["spec"]),
+                 str(circuit_files["impl"]), "--portfolio", "--json",
+                 "--time-limit", "120"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["equivalent"] is True
+    assert payload["details"]["portfolio"]["winner"] is not None
+
+
+def test_batch_two_rows_with_cache_and_events(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    events = str(tmp_path / "events.jsonl")
+    argv = ["batch", "--rows", "s386", "s510", "--workers", "2",
+            "--cache-dir", cache_dir, "--events", events,
+            "--time-limit", "120"]
+    code = main(argv)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "batch: 2 jobs" in out
+    assert "proved" in out
+    lines = [json.loads(line)
+             for line in open(events).read().splitlines()]
+    assert lines[0]["type"] == "batch_started"
+    assert lines[-1]["type"] == "batch_finished"
+    # Second run must be served from the cache.
+    code = main(argv)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "cached" in out
+
+
+def test_batch_json_mode(tmp_path, capsys):
+    code = main(["batch", "--rows", "s386", "--workers", "0",
+                 "--cache-dir", str(tmp_path / "cache"), "--json",
+                 "--time-limit", "120"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert len(payload) == 1
+    assert payload[0]["name"] == "s386"
+    assert payload[0]["result"]["equivalent"] is True
+
+
+def test_table1_workers_flag(capsys):
+    code = main(["table1", "--scales", "small", "--workers", "2",
+                 "--traversal-time-limit", "5",
+                 "--proposed-time-limit", "30"])
+    out = capsys.readouterr().out
+    assert code == 0
     assert "s838" in out
 
 
