@@ -5,6 +5,7 @@ Subcommands::
     repro-sec verify spec.bench impl.bench [--method van_eijk] [--json]
     repro-sec verify spec.bench impl.bench --portfolio
     repro-sec batch [--rows s386 s510 | --scales small] [--workers 4]
+    repro-sec fuzz [--iterations 200] [--seed 0] [--corpus-dir tests/corpus]
     repro-sec table1 [--scales small medium] [--optimize-level 2]
     repro-sec info circuit.bench
 
@@ -156,6 +157,97 @@ def _cmd_batch(args):
     return 0
 
 
+def _cmd_fuzz(args):
+    from .fuzz import DifferentialFuzzer
+    from .service import EventBus, JsonlEventWriter, ResultCache
+
+    bus = EventBus()
+    if not args.json:
+        bus.subscribe(_FuzzNarrator(verbose=args.verbose))
+    writer = None
+    if args.events:
+        writer = JsonlEventWriter(args.events)
+        bus.subscribe(writer)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    fuzzer = DifferentialFuzzer(
+        seed=args.seed,
+        engines=args.engines,
+        workers=args.workers,
+        corpus_dir=args.corpus_dir or None,
+        bus=bus,
+        cache=cache,
+        job_time_limit=args.time_limit,
+    )
+    try:
+        report = fuzzer.run(iterations=args.iterations,
+                            time_budget=args.time_budget)
+    except KeyboardInterrupt:
+        print("\nfuzz: interrupted", file=sys.stderr)
+        return 130
+    finally:
+        if writer is not None:
+            writer.close()
+    if args.json:
+        print(json.dumps(report.as_dict(), sort_keys=True))
+    else:
+        _print_fuzz_summary(report)
+    return 0 if report.clean else 2
+
+
+class _FuzzNarrator:
+    """Terse per-event progress lines for interactive fuzz runs."""
+
+    def __init__(self, verbose=False):
+        self.verbose = verbose
+
+    def __call__(self, event):
+        data = event.data
+        if event.type == "fuzz_started":
+            print("fuzz: seed={} iterations={} engines={}".format(
+                data["seed"], data["iterations"],
+                ",".join(data["engines"])))
+        elif event.type == "fuzz_case_finished" and self.verbose:
+            verdicts = " ".join(
+                "{}={}".format(m, {True: "eq", False: "neq", None: "?"}[v])
+                for m, v in sorted(data["verdicts"].items()))
+            print("  {} expected={} {} ({:.2f}s)".format(
+                event.job, data["expected"], verdicts, data["seconds"]))
+        elif event.type == "fuzz_disagreement":
+            print("  DISAGREEMENT {} {} methods={}".format(
+                event.job, data["kind"], ",".join(data["methods"])))
+        elif event.type == "fuzz_shrunk":
+            print("  shrunk {}: size {} -> {} ({} evaluations)".format(
+                event.job, data["size_from"], data["size_to"],
+                data["evaluations"]))
+        elif event.type == "fuzz_corpus_saved":
+            print("  corpus {} {} ({})".format(
+                data["entry"], data["path"],
+                "new" if data["new"] else "duplicate"))
+
+
+def _print_fuzz_summary(report):
+    data = report.as_dict()
+    print("fuzz: {} cases in {:.1f}s ({} skipped, stopped by {})".format(
+        data["cases_run"], data["seconds"], data["cases_skipped"],
+        data["stopped"]))
+    for method, tally in sorted(data["verdicts"].items()):
+        print("  {}: proved={} refuted={} undecided={}".format(
+            method, tally["proved"], tally["refuted"], tally["undecided"]))
+    print("  refutations replay-validated: {}".format(
+        data["refutations_validated"]))
+    if report.clean:
+        print("  no disagreements")
+    else:
+        print("  FINDINGS: {}".format(len(data["findings"])))
+        for finding in data["findings"]:
+            print("    {} case={} methods={}".format(
+                finding["kind"], finding["case"],
+                ",".join(finding["methods"])))
+        if data["corpus_written"]:
+            print("  corpus entries written: {}".format(
+                len(data["corpus_written"])))
+
+
 def _cmd_table1(args):
     from .circuits import table1_suite
     from .eval import render_table1, run_table
@@ -243,6 +335,34 @@ def build_parser():
     p_batch.add_argument("--verbose", action="store_true",
                          help="also print per-iteration progress events")
     p_batch.set_defaults(func=_cmd_batch)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differentially fuzz the engines on seeded pairs "
+                     "with known verdicts")
+    p_fuzz.add_argument("--iterations", type=int, default=100)
+    p_fuzz.add_argument("--time-budget", type=float,
+                        help="stop after this many seconds (soak mode)")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="run seed; distinct seeds fuzz disjoint cases")
+    p_fuzz.add_argument("--corpus-dir", default="tests/corpus",
+                        help="where shrunk findings are persisted "
+                             "(use '' to disable)")
+    p_fuzz.add_argument("--workers", type=int, default=0,
+                        help="scheduler worker processes (0 = inline)")
+    p_fuzz.add_argument("--engines", nargs="+", choices=METHODS,
+                        help="engine battery (default: van_eijk bmc "
+                             "traversal)")
+    p_fuzz.add_argument("--time-limit", type=float,
+                        help="per-engine-job time budget (seconds)")
+    p_fuzz.add_argument("--cache-dir",
+                        help="optional ResultCache directory")
+    p_fuzz.add_argument("--events", metavar="FILE",
+                        help="append the JSONL event stream to FILE")
+    p_fuzz.add_argument("--json", action="store_true",
+                        help="print the full fuzz report as JSON")
+    p_fuzz.add_argument("--verbose", action="store_true",
+                        help="print one line per fuzz case")
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_table = sub.add_parser("table1", help="run the Table-1 experiment")
     p_table.add_argument("--scales", nargs="+", default=["small"],

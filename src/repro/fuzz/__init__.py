@@ -1,0 +1,75 @@
+"""Differential fuzzing of the verification engines.
+
+The repo races three engines whose verdicts must agree whenever two are
+conclusive, and the paper's method is trusted to be *sound* — this package
+is the machinery that checks both claims continuously instead of hoping:
+
+* :mod:`repro.fuzz.generate` — seeded circuit pairs with a known
+  equivalence label (recipes: base generator parameters + a transform
+  chain);
+* :mod:`repro.fuzz.replay` — the counterexample-replay oracle: concrete
+  re-simulation of every :class:`~repro.reach.CexTrace` on both circuits;
+* :mod:`repro.fuzz.harness` — the differential loop over the batch
+  scheduler, cross-checking engines against the label, each other, and
+  replay;
+* :mod:`repro.fuzz.shrink` — delta-debugging of failing recipes;
+* :mod:`repro.fuzz.corpus` — the persisted regression corpus that the
+  tier-1 suite re-runs (``tests/corpus/``).
+
+CLI entry point: ``repro-sec fuzz --iterations N --seed K``.
+"""
+
+from .corpus import CorpusEntry, discover, entry_id, load_entry, save_entry, verify_entry
+from .generate import (
+    EQUIVALENT,
+    INEQUIVALENT,
+    FuzzCase,
+    build_pair,
+    expected_label,
+    make_case,
+    make_recipe,
+)
+from .harness import (
+    CROSS_ENGINE,
+    DEFAULT_FUZZ_ENGINES,
+    FALSE_PROOF,
+    FALSE_REFUTATION,
+    INVALID_CEX,
+    DifferentialFuzzer,
+    FuzzFinding,
+    FuzzReport,
+    run_fuzz,
+)
+from .replay import ReplayReport, replay_counterexample, replay_trace, validate_refutation
+from .shrink import recipe_size, shrink_recipe
+
+__all__ = [
+    "CROSS_ENGINE",
+    "CorpusEntry",
+    "DEFAULT_FUZZ_ENGINES",
+    "DifferentialFuzzer",
+    "EQUIVALENT",
+    "FALSE_PROOF",
+    "FALSE_REFUTATION",
+    "FuzzCase",
+    "FuzzFinding",
+    "FuzzReport",
+    "INEQUIVALENT",
+    "INVALID_CEX",
+    "ReplayReport",
+    "build_pair",
+    "discover",
+    "entry_id",
+    "expected_label",
+    "load_entry",
+    "make_case",
+    "make_recipe",
+    "recipe_size",
+    "replay_counterexample",
+    "replay_trace",
+    "run_fuzz",
+    "save_entry",
+    "shrink_recipe",
+    "validate_refutation",
+    "verify_entry",
+]

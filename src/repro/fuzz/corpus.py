@@ -1,0 +1,120 @@
+"""Regression corpus: persisted fuzz findings that must stay fixed.
+
+Every disagreement the fuzzer cannot explain is shrunk and written here as
+one JSON file.  An entry stores the *recipe* (seed + transform chain), the
+expected verdict derived from it, and a record of the original finding —
+everything needed to rebuild the exact circuit pair and re-run the engine
+battery with no fuzzer state.  ``tests/corpus/test_corpus.py`` discovers
+``tests/corpus/*.json`` and re-checks each entry as a tier-1 regression
+test, so a fixed bug stays fixed.
+
+Entry ids are a hash of the canonical recipe JSON: re-finding the same
+shrunk recipe dedupes instead of littering the corpus.
+"""
+
+import glob
+import hashlib
+import json
+import os
+import tempfile
+
+from .generate import expected_label
+
+CORPUS_FORMAT_VERSION = 1
+
+
+def entry_id(recipe):
+    """Stable content-derived id for a recipe."""
+    blob = json.dumps(recipe, sort_keys=True).encode("utf-8")
+    return "fz-" + hashlib.sha256(blob).hexdigest()[:12]
+
+
+class CorpusEntry:
+    """One persisted regression case."""
+
+    def __init__(self, recipe, finding=None, meta=None, entry_id_=None):
+        self.recipe = recipe
+        self.finding = dict(finding or {})
+        self.meta = dict(meta or {})
+        self.id = entry_id_ or entry_id(recipe)
+
+    @property
+    def expected(self):
+        return expected_label(self.recipe)
+
+    def as_dict(self):
+        return {
+            "format": CORPUS_FORMAT_VERSION,
+            "id": self.id,
+            "expected": self.expected,
+            "recipe": self.recipe,
+            "finding": self.finding,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        if data.get("format") != CORPUS_FORMAT_VERSION:
+            raise ValueError(
+                "unsupported corpus format {!r}".format(data.get("format")))
+        return cls(data["recipe"], finding=data.get("finding"),
+                   meta=data.get("meta"), entry_id_=data.get("id"))
+
+    def __repr__(self):
+        return "CorpusEntry({!r}, expected={}, finding={})".format(
+            self.id, self.expected, self.finding.get("kind"))
+
+
+def save_entry(corpus_dir, entry):
+    """Write ``entry`` under ``corpus_dir``; returns ``(path, written)``.
+
+    Idempotent: an entry whose id already exists is left untouched.  The
+    write goes through a temp file + ``os.replace`` (same discipline as
+    the result cache) so a crashing fuzz run never leaves a half-written
+    corpus file for pytest to choke on.
+    """
+    corpus_dir = str(corpus_dir)
+    os.makedirs(corpus_dir, exist_ok=True)
+    path = os.path.join(corpus_dir, entry.id + ".json")
+    if os.path.exists(path):
+        return path, False
+    fd, tmp = tempfile.mkstemp(dir=corpus_dir, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(entry.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path, True
+
+
+def load_entry(path):
+    with open(str(path)) as fh:
+        return CorpusEntry.from_dict(json.load(fh))
+
+
+def discover(corpus_dir):
+    """All corpus entries under ``corpus_dir``, sorted by id."""
+    entries = []
+    for path in sorted(glob.glob(os.path.join(str(corpus_dir), "*.json"))):
+        entries.append(load_entry(path))
+    return sorted(entries, key=lambda e: e.id)
+
+
+def verify_entry(entry, engines=None, **harness_options):
+    """Re-run the engine battery on a corpus entry.
+
+    Returns the list of findings (empty means the regression stays fixed).
+    Runs inline — corpus checks are part of the tier-1 suite and must not
+    fork worker pools.
+    """
+    from .harness import DifferentialFuzzer  # circular at import time only
+
+    fuzzer = DifferentialFuzzer(engines=engines, workers=0,
+                                corpus_dir=None, **harness_options)
+    return fuzzer.check_recipe(entry.recipe, case_id=entry.id)

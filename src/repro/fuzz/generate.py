@@ -1,0 +1,186 @@
+"""Fuzz-case recipes: seeded circuit pairs with a known equivalence label.
+
+A *recipe* is a small JSON-serializable dict that deterministically
+rebuilds a (spec, impl) pair:
+
+* ``base`` — parameters for
+  :func:`repro.circuits.generators.generate_benchmark` (everything there is
+  deterministic in the seed);
+* ``transforms`` — a chain of transformation steps applied to the base to
+  derive the implementation.  Equivalence-preserving steps (``retime``,
+  ``optimize``, ``xor_reencode``) keep the pair equivalent *by
+  construction*; a ``fault`` step
+  (:func:`repro.transform.mutate.inject_distinguishable_fault`) makes it
+  inequivalent *with a simulation witness*.
+
+The expected verdict is therefore derivable from the recipe alone
+(:func:`expected_label`), which is what lets the fuzzer treat the recipe as
+an oracle and lets a corpus entry be replayed from nothing but its JSON.
+The assumptions behind the labels are themselves tier-1-tested against the
+reachability baseline in ``tests/transform/test_oracles.py``.
+"""
+
+import random
+
+from ..circuits.generators import generate_benchmark
+from ..transform import inject_distinguishable_fault, optimize, retime, xor_reencode
+
+#: Keys generate_benchmark accepts; guards recipes loaded from disk.
+_BASE_KEYS = frozenset(
+    ("name", "n_regs", "n_inputs", "n_outputs", "seed",
+     "deep_counter_bits", "mixer_width")
+)
+
+EQUIVALENT = "equivalent"
+INEQUIVALENT = "inequivalent"
+
+
+def build_base(base):
+    """Instantiate the base circuit of a recipe."""
+    unknown = set(base) - _BASE_KEYS
+    if unknown:
+        raise ValueError("unknown base keys: {}".format(sorted(unknown)))
+    return generate_benchmark(**base)
+
+
+def apply_transform(circuit, step):
+    """Apply one recipe step; returns the derived circuit."""
+    kind = step.get("kind")
+    if kind == "retime":
+        return retime(circuit, moves=step.get("moves", 4),
+                      seed=step.get("seed", 0),
+                      direction=step.get("direction", "both"))
+    if kind == "optimize":
+        return optimize(circuit, level=step.get("level", 2),
+                        seed=step.get("seed", 0))
+    if kind == "xor_reencode":
+        return xor_reencode(circuit, pairs=step.get("pairs", 1),
+                            seed=step.get("seed", 0))
+    if kind == "fault":
+        mutated, _ = inject_distinguishable_fault(
+            circuit, seed=step.get("seed", 0),
+            frames=step.get("frames", 32), width=step.get("width", 64))
+        return mutated
+    raise ValueError("unknown transform kind {!r}".format(kind))
+
+
+def build_pair(recipe):
+    """Rebuild the (spec, impl) pair a recipe describes.
+
+    May raise :class:`~repro.errors.TransformError` when a ``fault`` step
+    cannot find a simulation-distinguishable mutation on the (possibly
+    shrunk) base — callers treat that recipe as unusable.
+    """
+    spec = build_base(recipe["base"])
+    impl = spec
+    for step in recipe.get("transforms", ()):
+        impl = apply_transform(impl, step)
+    if impl is spec:
+        impl = spec.copy(name=spec.name + "_id")
+    return spec, impl
+
+
+def expected_label(recipe):
+    """The oracle verdict implied by the recipe's transform chain."""
+    for step in recipe.get("transforms", ()):
+        if step.get("kind") == "fault":
+            return INEQUIVALENT
+    return EQUIVALENT
+
+
+class FuzzCase:
+    """One fuzz iteration's problem: a recipe plus its built circuits."""
+
+    def __init__(self, case_id, recipe):
+        self.case_id = case_id
+        self.recipe = recipe
+        self._pair = None
+
+    @property
+    def expected(self):
+        return expected_label(self.recipe)
+
+    @property
+    def expected_equivalent(self):
+        return self.expected == EQUIVALENT
+
+    def pair(self):
+        """The (spec, impl) circuits, built once and memoized."""
+        if self._pair is None:
+            self._pair = build_pair(self.recipe)
+        return self._pair
+
+    def describe(self):
+        return {
+            "case": self.case_id,
+            "expected": self.expected,
+            "recipe": self.recipe,
+        }
+
+    def __repr__(self):
+        return "FuzzCase({!r}, expected={})".format(self.case_id,
+                                                    self.expected)
+
+
+# The equivalence-preserving chains the fuzzer samples from.  Retiming and
+# optimization mirror the paper's benchmark synthesis; xor_reencode is the
+# re-encoding stressor; stacked chains destroy the most structure.
+_EQUIV_CHAINS = (
+    ("retime",),
+    ("optimize",),
+    ("xor_reencode",),
+    ("retime", "optimize"),
+    ("optimize", "xor_reencode"),
+    ("retime", "optimize", "xor_reencode"),
+)
+
+
+def make_recipe(seed, max_regs=9, min_regs=4, fault_probability=0.45):
+    """A random recipe, deterministic in ``seed``.
+
+    Sizes are kept small on purpose: the battery includes the traversal
+    baseline, whose cost is exponential in the register count, and shrunk
+    corpus entries must replay in test time.
+    """
+    rng = random.Random(seed)
+    n_regs = rng.randint(min_regs, max_regs)
+    base = {
+        "name": "fz{}".format(seed),
+        "n_regs": n_regs,
+        "n_inputs": rng.randint(2, 4),
+        "n_outputs": rng.randint(1, 2),
+        "seed": rng.randrange(2 ** 30),
+        "deep_counter_bits": rng.choice((0, 0, 0, n_regs)),
+        "mixer_width": 0,
+    }
+    transforms = []
+    for kind in rng.choice(_EQUIV_CHAINS):
+        step = {"kind": kind, "seed": rng.randrange(2 ** 30)}
+        if kind == "retime":
+            step["moves"] = rng.randint(1, 4)
+        elif kind == "optimize":
+            step["level"] = rng.choice((1, 2, 2))
+        elif kind == "xor_reencode":
+            step["pairs"] = rng.randint(1, 2)
+        transforms.append(step)
+    if rng.random() < fault_probability:
+        transforms.append({"kind": "fault", "seed": rng.randrange(2 ** 30)})
+    return {"base": base, "transforms": transforms}
+
+
+def make_case(seed, **kwargs):
+    """Build the :class:`FuzzCase` for one fuzzer iteration."""
+    return FuzzCase("fz-{:08d}".format(seed), make_recipe(seed, **kwargs))
+
+
+__all__ = [
+    "EQUIVALENT",
+    "INEQUIVALENT",
+    "FuzzCase",
+    "apply_transform",
+    "build_base",
+    "build_pair",
+    "expected_label",
+    "make_case",
+    "make_recipe",
+]

@@ -1,0 +1,104 @@
+"""Delta-debugging of fuzz recipes.
+
+A disagreement found on a 9-register circuit with a three-step transform
+chain is a poor regression test: slow to re-run and hard to diagnose.  The
+shrinker greedily simplifies the *recipe* — dropping transform steps,
+halving the register count, removing the deep-counter/mixer motifs,
+trimming outputs and inputs, weakening step parameters — and keeps any
+candidate on which the disagreement (as judged by a caller-supplied
+predicate) persists.  Shrinking the generator input rather than the built
+netlist keeps every shrunk artifact reproducible from its JSON recipe,
+which is what the corpus format requires; dropping registers/outputs at
+the recipe level is what drops whole motifs and gate cones from the built
+circuit.
+
+The predicate is re-evaluated on every candidate, so it must be
+deterministic for the walk to terminate at a meaningful minimum; all
+engine seeds live in the recipe, making that the default.
+"""
+
+import copy
+
+_MIN_REGS = 3
+
+
+def _candidates(recipe):
+    """Yield progressively simpler variants of ``recipe``, boldest first."""
+    base = recipe["base"]
+    transforms = recipe.get("transforms", [])
+    # 1. Drop each transform step (rear first: the fault/most-derived step
+    #    is the most suspicious, but dropping early steps shrinks more).
+    for idx in range(len(transforms)):
+        variant = copy.deepcopy(recipe)
+        del variant["transforms"][idx]
+        yield variant
+    # 2. Shrink the base circuit: halving drops whole motifs.
+    n_regs = base.get("n_regs", 0)
+    for smaller in (n_regs // 2, n_regs - 1):
+        if _MIN_REGS <= smaller < n_regs:
+            variant = copy.deepcopy(recipe)
+            variant["base"]["n_regs"] = smaller
+            if variant["base"].get("deep_counter_bits", 0) > smaller:
+                variant["base"]["deep_counter_bits"] = smaller
+            yield variant
+    for knob in ("deep_counter_bits", "mixer_width"):
+        if base.get(knob, 0):
+            variant = copy.deepcopy(recipe)
+            variant["base"][knob] = 0
+            yield variant
+    if base.get("n_outputs", 1) > 1:
+        variant = copy.deepcopy(recipe)
+        variant["base"]["n_outputs"] = 1
+        yield variant
+    if base.get("n_inputs", 2) > 2:
+        variant = copy.deepcopy(recipe)
+        variant["base"]["n_inputs"] = base["n_inputs"] - 1
+        yield variant
+    # 3. Weaken individual steps.
+    for idx, step in enumerate(transforms):
+        kind = step.get("kind")
+        if kind == "retime" and step.get("moves", 4) > 1:
+            variant = copy.deepcopy(recipe)
+            variant["transforms"][idx]["moves"] = step["moves"] // 2
+            yield variant
+        elif kind == "optimize" and step.get("level", 2) > 1:
+            variant = copy.deepcopy(recipe)
+            variant["transforms"][idx]["level"] = 1
+            yield variant
+        elif kind == "xor_reencode" and step.get("pairs", 1) > 1:
+            variant = copy.deepcopy(recipe)
+            variant["transforms"][idx]["pairs"] = step["pairs"] // 2
+            yield variant
+
+
+def recipe_size(recipe):
+    """Rough complexity measure used to report shrink progress."""
+    base = recipe["base"]
+    return (base.get("n_regs", 0) + base.get("n_inputs", 0)
+            + base.get("n_outputs", 0) + base.get("mixer_width", 0)
+            + sum(2 for _ in recipe.get("transforms", ())))
+
+
+def shrink_recipe(recipe, still_fails, max_evaluations=48):
+    """Greedy first-improvement shrink loop.
+
+    ``still_fails(candidate_recipe)`` re-runs the caller's check and
+    returns True when the disagreement persists on the candidate; it must
+    tolerate candidates whose pair cannot be built (and return False for
+    them).  Returns ``(shrunk_recipe, evaluations)``; the input recipe is
+    returned unchanged when nothing simpler still fails.
+    """
+    current = copy.deepcopy(recipe)
+    evaluations = 0
+    improved = True
+    while improved and evaluations < max_evaluations:
+        improved = False
+        for candidate in _candidates(current):
+            if evaluations >= max_evaluations:
+                break
+            evaluations += 1
+            if still_fails(candidate):
+                current = candidate
+                improved = True
+                break
+    return current, evaluations

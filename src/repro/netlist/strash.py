@@ -60,22 +60,27 @@ def structural_fingerprint(circuit):
 
     The circuit is structurally hashed first, then serialized with
     name-independent positional ids (inputs by declaration order, registers
-    by sorted name, gates by topological order; commutative fanins sorted),
-    so renaming nets or duplicating gates does not change the digest.  Used
-    as the cache key for verification results — two calls with equal
-    fingerprints describe the same verification problem.
+    by declaration order, gates by topological order; commutative fanins
+    sorted), so renaming nets or duplicating gates does not change the
+    digest.  Used as the cache key for verification results — two calls
+    with equal fingerprints describe the same verification problem.
+
+    Registers deliberately use *declaration* order, not sorted name:
+    renaming preserves declaration order (``strash`` and every transform
+    copy registers in iteration order) whereas a name sort would permute
+    the positional ids and change the digest under renaming.
     """
     canonical, _ = strash(circuit)
     ids = {}
     for pos, net in enumerate(canonical.inputs):
         ids[net] = "i{}".format(pos)
-    for pos, net in enumerate(sorted(canonical.registers)):
+    for pos, net in enumerate(canonical.registers):
         ids[net] = "r{}".format(pos)
     topo = canonical.topo_order()
     for pos, net in enumerate(topo):
         ids[net] = "g{}".format(pos)
     lines = []
-    for net in sorted(canonical.registers):
+    for net in canonical.registers:
         reg = canonical.registers[net]
         lines.append("{}=DFF({},{})".format(
             ids[net], ids[reg.data_in], int(reg.init)))

@@ -32,6 +32,13 @@ ENGINE_STARTED = "engine_started"
 ENGINE_FINISHED = "engine_finished"
 ENGINE_WON = "engine_won"
 ENGINE_CANCELLED = "engine_cancelled"
+ENGINE_CEX_REJECTED = "engine_cex_rejected"
+FUZZ_STARTED = "fuzz_started"
+FUZZ_CASE_FINISHED = "fuzz_case_finished"
+FUZZ_DISAGREEMENT = "fuzz_disagreement"
+FUZZ_SHRUNK = "fuzz_shrunk"
+FUZZ_CORPUS_SAVED = "fuzz_corpus_saved"
+FUZZ_FINISHED = "fuzz_finished"
 
 
 class Event:

@@ -16,12 +16,21 @@ SIGTERM→SIGKILL escalation (see
 :func:`repro.service.procs.terminate_gracefully`).  If every lane finishes
 inconclusive, the preferred lane's result (first in ``methods``) is
 returned so callers still see iteration counts and abort reasons.
+
+A *refuting* lane must earn its win: its counterexample is replayed on the
+original circuits (:func:`repro.fuzz.replay.validate_refutation`) before
+the race is decided.  A refutation whose trace produces no real output
+mismatch is reclassified as a lane **error** — the race continues and the
+bogus verdict can never be returned to the caller.  (Proofs have no
+artifact to audit; they are taken at face value, as in the hybrid-engine
+CEC literature this portfolio mirrors.)
 """
 
 import time
 
 from .events import (
     ENGINE_CANCELLED,
+    ENGINE_CEX_REJECTED,
     ENGINE_FINISHED,
     ENGINE_STARTED,
     ENGINE_WON,
@@ -40,16 +49,24 @@ _POLL_INTERVAL = 0.05
 def run_portfolio(spec, impl, methods=DEFAULT_PORTFOLIO_METHODS,
                   per_method_options=None, time_limit=None,
                   match_inputs="name", match_outputs="order",
-                  bus=None, grace=2.0, name=None):
+                  bus=None, grace=2.0, name=None,
+                  validate_refutations=True):
     """Race ``methods`` on one pair; returns the winning ``SecResult``.
 
     ``per_method_options`` maps method name to that engine's option dict;
     ``time_limit`` (seconds) additionally bounds every lane and the race
     itself.  The returned result carries a ``details["portfolio"]`` record
-    naming the winner and each lane's fate.
+    naming the winner and each lane's fate.  With ``validate_refutations``
+    (the default) a lane's refutation only counts once its counterexample
+    replays to a real output mismatch; otherwise the lane errors out.
     """
     if not methods:
         raise ValueError("portfolio needs at least one method")
+    # Imported here, not at module level: repro.fuzz pulls in the scheduler
+    # at import time, which would cycle during package initialization.
+    # Importing before the workers start keeps the race loop import-free.
+    from ..fuzz.replay import validate_refutation
+
     bus = bus or EventBus()
     name = name or "{}~{}".format(spec.name, impl.name)
     per_method_options = per_method_options or {}
@@ -78,17 +95,31 @@ def run_portfolio(spec, impl, methods=DEFAULT_PORTFOLIO_METHODS,
     deadline = None if time_limit is None else start + time_limit + grace
     results = {}
     status = {method: "running" for method in methods}
+    audited = set()
+
+    def audit_refutations():
+        if validate_refutations:
+            _reject_invalid_refutations(
+                spec, impl, match_inputs, match_outputs, validate_refutation,
+                results, status, audited, bus, name)
+
     winner = None
     try:
         while winner is None:
             _forward_events(event_queue, bus)
             _collect_results(result_queue, results, status, bus, name)
+            audit_refutations()
             winner = _find_winner(methods, results)
             if winner is not None:
                 break
             for method, proc in procs.items():
                 if status[method] == "running" and not proc.is_alive():
                     proc.join()
+                    # A finished worker flushes its result before exiting;
+                    # drain once more so a verdict racing the process's
+                    # death is collected, not misread as a crash.
+                    _collect_results(result_queue, results, status, bus,
+                                     name)
                     if method not in results:
                         status[method] = "crashed"
                         results[method] = aborted_result(
@@ -137,6 +168,10 @@ def run_portfolio(spec, impl, methods=DEFAULT_PORTFOLIO_METHODS,
         bus.emit(ENGINE_WON, job=name, method=winner,
                  verdict=result.equivalent, seconds=elapsed)
     else:
+        # Late results drained after the race (posted between the decision
+        # and the SIGTERM) still go through the replay audit before one of
+        # them can be returned.
+        audit_refutations()
         result = None
         for method in methods:
             candidate = results.get(method)
@@ -181,6 +216,38 @@ def _collect_results(result_queue, results, status, bus, name, quiet=False):
             if not quiet:
                 bus.emit(ENGINE_FINISHED, job=name, method=method,
                          verdict=None, error=payload.splitlines()[-1])
+
+
+def _reject_invalid_refutations(spec, impl, match_inputs, match_outputs,
+                                validate_refutation,
+                                results, status, audited, bus, name):
+    """Replay-audit refuting lanes; demote failures to lane errors.
+
+    Mutates ``results``/``status`` in place: a refutation whose trace does
+    not replay to a real output mismatch is replaced by an inconclusive
+    aborted result (carrying the replay report), its lane marked
+    ``"error"``, and the race goes on as if the lane had crashed.
+    """
+    for method in list(results):
+        result = results[method]
+        if (method in audited or result is None
+                or result.equivalent is not False):
+            continue
+        audited.add(method)
+        report = validate_refutation(spec, impl, result,
+                                     match_inputs=match_inputs,
+                                     match_outputs=match_outputs)
+        if report.valid:
+            result.details = dict(result.details,
+                                  replay=report.as_dict())
+            continue
+        status[method] = "error"
+        rejected = aborted_result(
+            method, "counterexample failed replay validation")
+        rejected.details["replay"] = report.as_dict()
+        results[method] = rejected
+        bus.emit(ENGINE_CEX_REJECTED, job=name, method=method,
+                 reason=report.reason)
 
 
 def _find_winner(methods, results):

@@ -1,0 +1,43 @@
+"""Regression corpus replay: every persisted fuzz finding must stay fixed.
+
+Each ``tests/corpus/*.json`` file is a shrunk fuzz recipe (written by
+``repro-sec fuzz`` or seeded by hand) together with its expected verdict.
+This module auto-discovers them and re-runs the full engine battery on each
+— inline, as part of the tier-1 suite — so a disagreement that was once
+found and fixed can never silently come back.  To add a regression, drop
+the corpus file produced by the fuzzer into this directory; nothing else
+to register.
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz import discover, verify_entry
+from repro.fuzz.generate import build_pair
+
+CORPUS_DIR = os.path.dirname(os.path.abspath(__file__))
+
+ENTRIES = discover(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    # The repo ships seeded baseline entries; an empty corpus means
+    # discovery itself is broken (e.g. the glob or this path moved).
+    assert ENTRIES
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=lambda e: e.id)
+def test_entry_rebuilds_deterministically(entry):
+    spec, impl = build_pair(entry.recipe)
+    spec2, impl2 = build_pair(entry.recipe)
+    assert spec.stats() == spec2.stats()
+    assert impl.stats() == impl2.stats()
+    assert entry.expected in ("equivalent", "inequivalent")
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=lambda e: e.id)
+def test_entry_stays_fixed(entry):
+    findings = verify_entry(entry)
+    assert findings == [], "regression reopened: {}".format(
+        [f.as_dict() for f in findings])

@@ -1,0 +1,71 @@
+"""Corpus persistence: content-addressed, idempotent, format-checked."""
+
+import json
+
+import pytest
+
+from repro.fuzz.corpus import (
+    CORPUS_FORMAT_VERSION,
+    CorpusEntry,
+    discover,
+    entry_id,
+    load_entry,
+    save_entry,
+)
+from repro.fuzz.generate import make_recipe
+
+
+def _entry(seed=0):
+    return CorpusEntry(make_recipe(seed),
+                       finding={"kind": "cross_engine"},
+                       meta={"fuzzer_seed": seed})
+
+
+def test_entry_id_is_content_derived_and_stable():
+    recipe = make_recipe(4)
+    assert entry_id(recipe) == entry_id(json.loads(json.dumps(recipe)))
+    assert entry_id(recipe) != entry_id(make_recipe(5))
+    assert entry_id(recipe).startswith("fz-")
+
+
+def test_save_load_round_trip(tmp_path):
+    entry = _entry()
+    path, written = save_entry(tmp_path, entry)
+    assert written
+    loaded = load_entry(path)
+    assert loaded.id == entry.id
+    assert loaded.recipe == entry.recipe
+    assert loaded.finding == entry.finding
+    assert loaded.expected == entry.expected
+
+
+def test_save_is_idempotent_on_same_recipe(tmp_path):
+    entry = _entry()
+    path1, written1 = save_entry(tmp_path, entry)
+    path2, written2 = save_entry(tmp_path, _entry())
+    assert written1 and not written2
+    assert path1 == path2
+    assert len(list(tmp_path.glob("*.json"))) == 1
+
+
+def test_discover_returns_entries_sorted_by_id(tmp_path):
+    for seed in (3, 1, 2):
+        save_entry(tmp_path, _entry(seed))
+    entries = discover(tmp_path)
+    assert len(entries) == 3
+    assert [e.id for e in entries] == sorted(e.id for e in entries)
+
+
+def test_unknown_format_version_is_rejected(tmp_path):
+    entry = _entry()
+    data = entry.as_dict()
+    data["format"] = CORPUS_FORMAT_VERSION + 1
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps(data))
+    with pytest.raises(ValueError, match="unsupported corpus format"):
+        load_entry(path)
+
+
+def test_no_temp_files_left_behind(tmp_path):
+    save_entry(tmp_path, _entry())
+    assert not list(tmp_path.glob("*.tmp"))

@@ -1,0 +1,93 @@
+"""Recipes: deterministic, JSON-round-trippable, correctly labelled."""
+
+import json
+
+import pytest
+
+from repro.fuzz.generate import (
+    EQUIVALENT,
+    INEQUIVALENT,
+    FuzzCase,
+    apply_transform,
+    build_base,
+    build_pair,
+    expected_label,
+    make_case,
+    make_recipe,
+)
+
+
+def test_make_recipe_is_deterministic_in_seed():
+    assert make_recipe(42) == make_recipe(42)
+    assert make_recipe(42) != make_recipe(43)
+
+
+def test_recipe_survives_json_round_trip():
+    recipe = make_recipe(7)
+    restored = json.loads(json.dumps(recipe))
+    assert restored == recipe
+    spec_a, impl_a = build_pair(recipe)
+    spec_b, impl_b = build_pair(restored)
+    assert spec_a.stats() == spec_b.stats()
+    assert impl_a.stats() == impl_b.stats()
+
+
+def test_expected_label_derives_from_transform_chain():
+    base = {"name": "lbl", "n_regs": 4, "seed": 1}
+    assert expected_label({"base": base}) == EQUIVALENT
+    assert expected_label(
+        {"base": base, "transforms": [{"kind": "retime"}]}) == EQUIVALENT
+    assert expected_label(
+        {"base": base,
+         "transforms": [{"kind": "optimize"}, {"kind": "fault"}]}
+    ) == INEQUIVALENT
+
+
+def test_build_base_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown base keys"):
+        build_base({"name": "x", "n_regs": 4, "bogus": 1})
+
+
+def test_apply_transform_rejects_unknown_kind():
+    spec = build_base({"name": "x", "n_regs": 4, "seed": 0})
+    with pytest.raises(ValueError, match="unknown transform kind"):
+        apply_transform(spec, {"kind": "frobnicate"})
+
+
+def test_identity_recipe_still_yields_two_circuit_objects():
+    spec, impl = build_pair({"base": {"name": "idp", "n_regs": 4, "seed": 3},
+                             "transforms": []})
+    assert impl is not spec
+    stats = {k: v for k, v in impl.stats().items() if k != "name"}
+    assert stats == {k: v for k, v in spec.stats().items() if k != "name"}
+
+
+def test_fuzz_case_memoizes_pair_and_exposes_label():
+    case = FuzzCase("c1", make_recipe(5))
+    assert case.pair() is case.pair()
+    assert case.expected in (EQUIVALENT, INEQUIVALENT)
+    assert case.expected_equivalent == (case.expected == EQUIVALENT)
+    assert case.describe()["recipe"] == case.recipe
+
+
+def test_make_case_ids_embed_the_seed():
+    case = make_case(123)
+    assert case.case_id == "fz-00000123"
+
+
+def test_recipe_population_mixes_labels():
+    labels = {expected_label(make_recipe(seed)) for seed in range(40)}
+    assert labels == {EQUIVALENT, INEQUIVALENT}
+
+
+def test_fault_probability_bounds_are_respected():
+    always = [make_recipe(s, fault_probability=1.0) for s in range(10)]
+    never = [make_recipe(s, fault_probability=0.0) for s in range(10)]
+    assert all(expected_label(r) == INEQUIVALENT for r in always)
+    assert all(expected_label(r) == EQUIVALENT for r in never)
+
+
+def test_register_counts_stay_in_requested_band():
+    for seed in range(20):
+        recipe = make_recipe(seed, min_regs=3, max_regs=5)
+        assert 3 <= recipe["base"]["n_regs"] <= 5

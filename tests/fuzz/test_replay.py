@@ -1,0 +1,135 @@
+"""The counterexample-replay oracle: traces must demonstrate real mismatches."""
+
+import pytest
+
+from repro.circuits.generators import generate_benchmark
+from repro.core.bmc import bmc_refute
+from repro.netlist import Circuit, GateType
+from repro.netlist.product import build_product
+from repro.reach.result import CexTrace, SecResult
+from repro.fuzz.replay import (
+    ReplayReport,
+    replay_counterexample,
+    replay_trace,
+    validate_refutation,
+)
+from repro.transform import inject_distinguishable_fault, obfuscate_names, retime
+
+
+def _buffer_pair():
+    """An equivalent pair: an inverter chain vs. a buffer, both registered."""
+    spec = Circuit("rp_spec")
+    spec.add_input("a")
+    spec.add_gate("d", GateType.BUF, ["a"])
+    spec.add_register("r", "d", init=False)
+    spec.add_gate("o", GateType.BUF, ["r"])
+    spec.add_output("o")
+
+    impl = Circuit("rp_impl")
+    impl.add_input("a")
+    impl.add_gate("n1", GateType.NOT, ["a"])
+    impl.add_gate("d", GateType.NOT, ["n1"])
+    impl.add_register("r", "d", init=False)
+    impl.add_gate("o", GateType.BUF, ["r"])
+    impl.add_output("o")
+    return spec, impl
+
+
+def _faulty_pair(seed=7):
+    spec = generate_benchmark("rp{}".format(seed), n_regs=5, n_inputs=3,
+                              seed=seed)
+    impl, _ = inject_distinguishable_fault(spec, seed=seed)
+    return spec, impl
+
+
+def test_replay_trace_tracks_registers_frame_by_frame():
+    spec, _ = _buffer_pair()
+    frames = [{"a": True}, {"a": False}, {"a": True}]
+    outputs, missing = replay_trace(spec, frames)
+    # The single output is the registered input, delayed one frame.
+    assert outputs == [[False], [True], [False]]
+    assert missing == 0
+
+
+def test_replay_trace_counts_missing_inputs_as_zero():
+    spec, _ = _buffer_pair()
+    outputs, missing = replay_trace(spec, [{}, {"a": True}])
+    assert outputs == [[False], [False]]
+    assert missing == 1
+
+
+def test_bmc_counterexample_replays_valid():
+    spec, impl = _faulty_pair()
+    product = build_product(spec, impl, match_inputs="name",
+                            match_outputs="order")
+    result = bmc_refute(product, max_depth=12)
+    assert result.refuted
+    report = validate_refutation(spec, impl, result)
+    assert report.valid
+    assert report.mismatch_frame is not None
+    assert report.frames == result.counterexample.length
+    assert report.spec_output in spec.outputs
+    assert report.impl_output in impl.outputs
+
+
+def test_fabricated_trace_on_equivalent_pair_is_invalid():
+    spec, impl = _buffer_pair()
+    trace = CexTrace(inputs=[{"a": True}], final_input={"a": False})
+    report = replay_counterexample(spec, impl, trace)
+    assert not report.valid
+    assert "no output mismatch" in report.reason
+    assert report.frames == 2
+
+
+def test_refutation_without_trace_is_invalid():
+    spec, impl = _buffer_pair()
+    result = SecResult(False, "bogus")
+    report = validate_refutation(spec, impl, result)
+    assert not report.valid
+    assert "no counterexample" in report.reason
+
+
+def test_validate_refutation_rejects_non_refutations():
+    spec, impl = _buffer_pair()
+    with pytest.raises(ValueError):
+        validate_refutation(spec, impl, SecResult(True, "van_eijk"))
+    with pytest.raises(ValueError):
+        validate_refutation(spec, impl, SecResult(None, "van_eijk"))
+
+
+def test_match_inputs_order_feeds_renamed_impl_positionally():
+    spec, impl = _faulty_pair(seed=11)
+    renamed = obfuscate_names(impl, seed=3)
+    product = build_product(spec, renamed, match_inputs="order",
+                            match_outputs="order")
+    result = bmc_refute(product, max_depth=12)
+    assert result.refuted
+    report = validate_refutation(spec, renamed, result,
+                                 match_inputs="order")
+    assert report.valid
+    # Under "name" matching the renamed inputs would all replay as 0, so the
+    # oracle must be told how the engines matched the interfaces.
+    assert report.missing_inputs == 0
+
+
+def test_replay_is_independent_of_structure():
+    # Retiming moves registers across gates; the replayed behaviour must
+    # stay identical, so a trace that shows no mismatch stays invalid.
+    spec = generate_benchmark("rp_rt", n_regs=6, n_inputs=2, seed=5)
+    impl = retime(spec, moves=3, seed=5)
+    trace = CexTrace(
+        inputs=[{net: bool(i % 2) for net in spec.inputs} for i in range(3)],
+        final_input={net: True for net in spec.inputs})
+    report = replay_counterexample(spec, impl, trace)
+    assert not report.valid
+    assert "no output mismatch" in report.reason
+
+
+def test_report_round_trips_to_dict():
+    report = ReplayReport(True, frames=3, mismatch_frame=2,
+                          spec_output="o", impl_output="o2")
+    data = report.as_dict()
+    assert data["valid"] is True
+    assert data["mismatch_frame"] == 2
+    assert set(data) == {"valid", "frames", "mismatch_frame", "spec_output",
+                         "impl_output", "reason", "missing_inputs"}

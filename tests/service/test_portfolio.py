@@ -96,6 +96,92 @@ def test_crashed_lane_does_not_win(monkeypatch):
         "crashed", "cancelled")
 
 
+def test_bogus_refutation_is_demoted_to_lane_error():
+    """A refuting lane whose trace fails replay must not win the race."""
+    from repro.reach.result import CexTrace, SecResult
+    from repro.service import register_method, unregister_method
+
+    def bogus_refuter(job, progress, cancel_check):
+        # tiny_pair is equivalent, so no trace can be valid: the all-zero
+        # input frame keeps both outputs at 0.
+        trace = CexTrace(inputs=[], final_input={"a": False, "b": False})
+        return SecResult(False, "bogus_refuter", counterexample=trace)
+
+    register_method("bogus_refuter", bogus_refuter)
+    try:
+        spec, impl = tiny_pair()
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        result = run_portfolio(spec, impl,
+                               methods=("bogus_refuter", "van_eijk"),
+                               time_limit=60, bus=bus)
+    finally:
+        unregister_method("bogus_refuter")
+    _assert_no_orphans()
+    assert result.proved
+    assert result.method == "van_eijk"
+    lanes = result.details["portfolio"]["lanes"]
+    assert lanes["van_eijk"] == "won"
+    assert lanes["bogus_refuter"] == "error"
+    rejected = [e for e in seen if e.type == ev.ENGINE_CEX_REJECTED]
+    assert len(rejected) == 1
+    assert rejected[0].data["method"] == "bogus_refuter"
+
+
+def test_bogus_refutation_is_never_returned_even_as_last_resort():
+    """With no other conclusive lane, the rejected refutation still loses."""
+    from repro.reach.result import CexTrace, SecResult
+    from repro.service import register_method, unregister_method
+
+    def bogus_refuter(job, progress, cancel_check):
+        trace = CexTrace(inputs=[], final_input={"a": True, "b": False})
+        return SecResult(False, "bogus_refuter", counterexample=trace)
+
+    register_method("bogus_refuter", bogus_refuter)
+    try:
+        spec, impl = tiny_pair()
+        result = run_portfolio(spec, impl, methods=("bogus_refuter",),
+                               time_limit=60)
+    finally:
+        unregister_method("bogus_refuter")
+    _assert_no_orphans()
+    assert not result.refuted
+    assert result.details["portfolio"]["winner"] is None
+    assert result.details["portfolio"]["lanes"]["bogus_refuter"] == "error"
+    assert "replay" in result.details
+
+
+def test_validate_refutations_off_keeps_old_behaviour():
+    from repro.reach.result import CexTrace, SecResult
+    from repro.service import register_method, unregister_method
+
+    def bogus_refuter(job, progress, cancel_check):
+        trace = CexTrace(inputs=[], final_input={"a": False, "b": False})
+        return SecResult(False, "bogus_refuter", counterexample=trace)
+
+    register_method("bogus_refuter", bogus_refuter)
+    try:
+        spec, impl = tiny_pair()
+        result = run_portfolio(spec, impl, methods=("bogus_refuter",),
+                               time_limit=60, validate_refutations=False)
+    finally:
+        unregister_method("bogus_refuter")
+    _assert_no_orphans()
+    assert result.refuted
+    assert result.details["portfolio"]["winner"] == "bogus_refuter"
+
+
+def test_valid_refutation_carries_replay_report():
+    spec, impl = magic_pair()
+    result = run_portfolio(spec, impl, methods=("bmc",), time_limit=120)
+    _assert_no_orphans()
+    assert result.refuted
+    replay = result.details["replay"]
+    assert replay["valid"] is True
+    assert replay["mismatch_frame"] is not None
+
+
 def test_portfolio_requires_methods():
     spec, impl = tiny_pair()
     with pytest.raises(ValueError):

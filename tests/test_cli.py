@@ -178,6 +178,41 @@ def test_table1_workers_flag(capsys):
     assert "s838" in out
 
 
+def test_fuzz_clean_run(tmp_path, capsys):
+    events = str(tmp_path / "fuzz.jsonl")
+    code = main(["fuzz", "--iterations", "8", "--seed", "1",
+                 "--corpus-dir", str(tmp_path / "corpus"),
+                 "--engines", "van_eijk", "bmc",
+                 "--events", events, "--verbose"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "no disagreements" in out
+    assert "replay-validated" in out
+    lines = [json.loads(line) for line in open(events).read().splitlines()]
+    assert lines[0]["type"] == "fuzz_started"
+    assert lines[-1]["type"] == "fuzz_finished"
+    assert not list((tmp_path / "corpus").glob("*.json"))
+
+
+def test_fuzz_json_report(tmp_path, capsys):
+    code = main(["fuzz", "--iterations", "4", "--seed", "2",
+                 "--corpus-dir", "",
+                 "--engines", "van_eijk", "bmc", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["clean"] is True
+    assert payload["cases_run"] + payload["cases_skipped"] == 4
+    assert payload["stopped"] == "iterations"
+
+
+def test_fuzz_time_budget_soak_mode(capsys):
+    code = main(["fuzz", "--iterations", "1000", "--time-budget", "0",
+                 "--corpus-dir", "", "--engines", "van_eijk", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["stopped"] == "time_budget"
+
+
 def test_bad_method_rejected(circuit_files):
     with pytest.raises(SystemExit):
         main(["verify", str(circuit_files["spec"]),
