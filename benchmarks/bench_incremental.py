@@ -1,0 +1,133 @@
+"""Incremental vs. monolithic SAT refinement on the Table 1 suite.
+
+Standalone script (not a pytest-benchmark module): runs
+``check_equivalence_sat_sweep`` twice per row — once with the
+solver-per-round baseline (``incremental=False``), once with the
+single-solver incremental engine — asserts the verdicts and final class
+counts agree, and writes ``BENCH_incremental.json`` with per-row timings
+and solver statistics plus a summary (construction ratio, total
+wall-clock).  The acceptance bar for the incremental rework: at least 2x
+fewer solver constructions and a net wall-clock win across the suite.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py \
+        [--rows s298 s386 ...] [--out BENCH_incremental.json] \
+        [--time-limit SECONDS]
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.circuits import row_by_name, table1_suite
+from repro.core import check_equivalence_sat_sweep
+
+DEFAULT_ROWS = [row.name for row in table1_suite(scales=("small",))]
+
+
+def run_mode(spec, impl, incremental, time_limit):
+    started = time.monotonic()
+    result = check_equivalence_sat_sweep(
+        spec, impl, match_outputs="order", incremental=incremental,
+        time_limit=time_limit,
+    )
+    seconds = time.monotonic() - started
+    return {
+        "seconds": round(seconds, 4),
+        "verdict": result.equivalent,
+        "classes": result.details.get("classes"),
+        "solver_stats": result.details.get("solver_stats", {}),
+    }
+
+
+def bench_row(name, time_limit):
+    spec, impl = row_by_name(name).pair()
+    monolithic = run_mode(spec, impl, False, time_limit)
+    incremental = run_mode(spec, impl, True, time_limit)
+    if incremental["verdict"] != monolithic["verdict"]:
+        raise AssertionError(
+            "{}: verdict mismatch (incremental={}, monolithic={})".format(
+                name, incremental["verdict"], monolithic["verdict"]))
+    if incremental["classes"] != monolithic["classes"]:
+        raise AssertionError(
+            "{}: class-count mismatch (incremental={}, monolithic={})".format(
+                name, incremental["classes"], monolithic["classes"]))
+    return {
+        "circuit": name,
+        "regs": "{}/{}".format(spec.num_registers, impl.num_registers),
+        "monolithic": monolithic,
+        "incremental": incremental,
+        "speedup": round(
+            monolithic["seconds"] / max(incremental["seconds"], 1e-9), 2),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", nargs="+", default=DEFAULT_ROWS,
+                        metavar="NAME", help="suite rows to run")
+    parser.add_argument("--out", default="BENCH_incremental.json",
+                        help="output JSON path")
+    parser.add_argument("--time-limit", type=float, default=300.0,
+                        help="per-run SAT sweep time limit (seconds)")
+    args = parser.parse_args(argv)
+
+    rows = []
+    for name in args.rows:
+        print("== {}".format(name), flush=True)
+        row = bench_row(name, args.time_limit)
+        print("   monolithic  {:>8.3f}s  constructions={:<4d} conflicts={}"
+              .format(row["monolithic"]["seconds"],
+                      row["monolithic"]["solver_stats"].get(
+                          "solver_constructions", 0),
+                      row["monolithic"]["solver_stats"].get("conflicts", 0)),
+              flush=True)
+        print("   incremental {:>8.3f}s  constructions={:<4d} conflicts={}"
+              " (speedup {}x)"
+              .format(row["incremental"]["seconds"],
+                      row["incremental"]["solver_stats"].get(
+                          "solver_constructions", 0),
+                      row["incremental"]["solver_stats"].get("conflicts", 0),
+                      row["speedup"]),
+              flush=True)
+        rows.append(row)
+
+    def total(mode, key):
+        return sum(r[mode]["solver_stats"].get(key, 0) for r in rows)
+
+    mono_seconds = round(sum(r["monolithic"]["seconds"] for r in rows), 4)
+    inc_seconds = round(sum(r["incremental"]["seconds"] for r in rows), 4)
+    mono_constructions = total("monolithic", "solver_constructions")
+    inc_constructions = total("incremental", "solver_constructions")
+    summary = {
+        "rows": len(rows),
+        "monolithic_seconds": mono_seconds,
+        "incremental_seconds": inc_seconds,
+        "speedup": round(mono_seconds / max(inc_seconds, 1e-9), 2),
+        "monolithic_constructions": mono_constructions,
+        "incremental_constructions": inc_constructions,
+        "construction_ratio": round(
+            mono_constructions / max(inc_constructions, 1), 2),
+        "verdicts_identical": True,  # bench_row raises otherwise
+    }
+    report = {"bench": "incremental_sat_refinement", "summary": summary,
+              "results": rows}
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("\nTotal: monolithic {}s vs incremental {}s ({}x); "
+          "solver constructions {} -> {} ({}x fewer); wrote {}".format(
+              mono_seconds, inc_seconds, summary["speedup"],
+              mono_constructions, inc_constructions,
+              summary["construction_ratio"], args.out), flush=True)
+    if summary["construction_ratio"] < 2.0:
+        print("WARNING: construction ratio below the 2x acceptance bar",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

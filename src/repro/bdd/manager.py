@@ -722,6 +722,52 @@ class BddManager:
                 edge = lo
         return assignment
 
+    def pick_one_and(self, f, g):
+        """One assignment satisfying ``f ∧ g``, or ``None`` if empty.
+
+        The witness-extracting dual of :meth:`and_is_false`: the conjunction
+        is never materialized, and the traversal shares (and reuses) the
+        emptiness cache, so a preceding ``and_is_false(f, g) == False`` makes
+        the witness search skip every branch already known to be empty.
+        Unmentioned variables are don't-cares, as in :meth:`pick_one`.
+        """
+        cache = self._misc_cache
+        assignment = {}
+
+        def rec(a, b):
+            if a == self.false or b == self.false:
+                return False
+            if a == self.true and b == self.true:
+                return True
+            if a == (b ^ 1):
+                return False
+            if a == b or a == self.true or b == self.true:
+                # Nonempty, one-sided: any witness of the non-constant side
+                # works.  Its support is disjoint from the variables decided
+                # so far (they were cofactored away above this level).
+                witness = self.pick_one(b if a == self.true else a)
+                assignment.update(witness)
+                return True
+            aa, bb = (a, b) if a <= b else (b, a)
+            key = ("AIF", aa, bb)
+            if cache.get(key) is True:
+                return False
+            level = min(self._top_level(a), self._top_level(b))
+            var = self._var_at_level[level]
+            a1, a0 = self._fast_cofactors(a, var)
+            b1, b0 = self._fast_cofactors(b, var)
+            assignment[var] = True
+            if rec(a1, b1):
+                return True
+            assignment[var] = False
+            if rec(a0, b0):
+                return True
+            del assignment[var]
+            cache[key] = True
+            return False
+
+        return assignment if rec(f, g) else None
+
     def cube(self, assignment):
         """Conjunction of literals from ``{var: bool}``."""
         result = self.true

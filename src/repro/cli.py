@@ -49,48 +49,76 @@ def _result_exit_code(result):
     return 0 if result.proved else (2 if result.refuted else 1)
 
 
+#: Engines whose check functions accept the service-layer ``progress`` hook.
+_PROGRESS_METHODS = ("van_eijk", "sat_sweep", "bmc", "traversal")
+
+
 def _cmd_verify(args):
+    from .service import EventBus, JsonlEventWriter, LiveRenderer
+    from .service.events import JOB_PROGRESS
+
     spec = _load_circuit(args.spec)
     impl = _load_circuit(args.impl)
-    if args.portfolio:
-        from .service import EventBus, LiveRenderer, run_portfolio
+    bus = EventBus()
+    if not args.json:
+        bus.subscribe(LiveRenderer(verbose=args.verbose))
+    writer = None
+    if args.events:
+        writer = JsonlEventWriter(args.events)
+        bus.subscribe(writer)
+    try:
+        if args.portfolio:
+            from .service import run_portfolio
 
-        bus = EventBus()
-        if not args.json:
-            bus.subscribe(LiveRenderer(verbose=args.verbose))
-        result = run_portfolio(
-            spec, impl,
-            time_limit=args.time_limit,
-            match_inputs=args.match_inputs,
-            match_outputs=args.match_outputs,
-            bus=bus,
-        )
-    else:
-        options = {}
-        if args.method == "van_eijk":
-            options.update(
-                use_simulation=not args.no_simulation,
-                use_fundeps=not args.no_fundeps,
-                use_retiming=not args.no_retiming,
+            result = run_portfolio(
+                spec, impl,
+                time_limit=args.time_limit,
+                match_inputs=args.match_inputs,
+                match_outputs=args.match_outputs,
+                bus=bus,
             )
-            if args.reach_bound:
-                options["reach_bound"] = args.reach_bound
-            if args.time_limit:
-                options["time_limit"] = args.time_limit
-            if args.node_limit:
-                options["node_limit"] = args.node_limit
-        elif args.method == "traversal":
-            if args.time_limit:
-                options["time_limit"] = args.time_limit
-            if args.node_limit:
-                options["node_limit"] = args.node_limit
-        elif args.method == "bmc":
-            options["max_depth"] = args.max_depth
-            if args.time_limit:
-                options["time_limit"] = args.time_limit
-        result = verify(spec, impl, method=args.method,
-                        match_inputs=args.match_inputs,
-                        match_outputs=args.match_outputs, **options)
+        else:
+            options = {}
+            if args.method == "van_eijk":
+                options.update(
+                    use_simulation=not args.no_simulation,
+                    use_fundeps=not args.no_fundeps,
+                    use_retiming=not args.no_retiming,
+                )
+                if args.reach_bound:
+                    options["reach_bound"] = args.reach_bound
+                if args.time_limit:
+                    options["time_limit"] = args.time_limit
+                if args.node_limit:
+                    options["node_limit"] = args.node_limit
+            elif args.method == "sat_sweep":
+                options["incremental"] = not args.no_incremental
+                if args.time_limit:
+                    options["time_limit"] = args.time_limit
+            elif args.method == "traversal":
+                if args.time_limit:
+                    options["time_limit"] = args.time_limit
+                if args.node_limit:
+                    options["node_limit"] = args.node_limit
+            elif args.method == "bmc":
+                options["max_depth"] = args.max_depth
+                if args.time_limit:
+                    options["time_limit"] = args.time_limit
+            if args.method in _PROGRESS_METHODS and (args.verbose
+                                                     or args.events):
+                job_name = spec.name or "verify"
+
+                def progress(kind, **data):
+                    data["kind"] = kind
+                    bus.emit(JOB_PROGRESS, job=job_name, **data)
+
+                options["progress"] = progress
+            result = verify(spec, impl, method=args.method,
+                            match_inputs=args.match_inputs,
+                            match_outputs=args.match_outputs, **options)
+    finally:
+        if writer is not None:
+            writer.close()
     if args.json:
         payload = result.as_dict()
         payload["spec"] = str(args.spec)
@@ -294,9 +322,15 @@ def build_parser():
                           default="name")
     p_verify.add_argument("--match-outputs", choices=["name", "order"],
                           default="order")
+    p_verify.add_argument("--events", metavar="FILE",
+                          help="append the JSONL progress event stream "
+                               "(refinement rounds, solver stats) to FILE")
     p_verify.add_argument("--no-simulation", action="store_true")
     p_verify.add_argument("--no-fundeps", action="store_true")
     p_verify.add_argument("--no-retiming", action="store_true")
+    p_verify.add_argument("--no-incremental", action="store_true",
+                          help="sat_sweep only: fall back to the "
+                               "solver-per-round baseline engine")
     p_verify.add_argument("--reach-bound", choices=["approx", "exact"])
     p_verify.add_argument("--time-limit", type=float)
     p_verify.add_argument("--node-limit", type=int)

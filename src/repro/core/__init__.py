@@ -1,6 +1,7 @@
 """The paper's contribution: sequential equivalence checking by signal
 correspondence, without state space traversal."""
 
+from .cexsplit import partition_by_value, replay_pattern
 from .partition import Partition, SignalFunction
 from .timeframe import TimeFrame
 from .correspondence import (
@@ -36,4 +37,6 @@ __all__ = [
     "equivalence_percentage",
     "initial_partition",
     "is_augmented",
+    "partition_by_value",
+    "replay_pattern",
 ]

@@ -18,6 +18,7 @@ the corresponding equivalences into Q.
 import time
 
 from ..errors import ResourceBudgetExceeded
+from .cexsplit import partition_by_value
 from .partition import Partition
 
 
@@ -197,22 +198,35 @@ def _refine_once(frame, partition, q_edge, substitution,
         return cached
 
     def implication_splitter(cls):
-        subgroups = []  # list of (leader_nu, members)
-        for fn in cls:
-            fn_nu = nu(fn.edge)
-            placed = False
-            for leader_nu, members in subgroups:
+        # Counterexample-guided: when a member is distinguishable from the
+        # class leader, the witness Q-state is evaluated against *every*
+        # member and the whole class splits by value at once (the same
+        # mass-refinement rule the SAT backend applies to its models); the
+        # value groups are then refined recursively.
+        def split(members):
+            if len(members) <= 1:
+                return [members]
+            leader_nu = nu(members[0].edge)
+            for fn in members[1:]:
+                fn_nu = nu(fn.edge)
                 if fn_nu == leader_nu:
-                    members.append(fn)
-                    placed = True
-                    break
-                if mgr.and_is_false(q_edge, mgr.apply_xor(fn_nu, leader_nu)):
-                    members.append(fn)
-                    placed = True
-                    break
-            if not placed:
-                subgroups.append((fn_nu, [fn]))
-        return [members for _, members in subgroups]
+                    continue
+                witness = mgr.pick_one_and(
+                    q_edge, mgr.apply_xor(fn_nu, leader_nu))
+                if witness is None:
+                    continue
+                assignment = {
+                    var: witness.get(var, False)
+                    for var in range(mgr.num_vars)
+                }
+                groups = partition_by_value(
+                    members,
+                    lambda member: mgr.evaluate(nu(member.edge), assignment),
+                )
+                return [sub for group in groups for sub in split(group)]
+            return [members]
+
+        return split(list(cls))
 
     def constrain_splitter(cls):
         # Two ν functions agree on every Q-state iff their generalized

@@ -9,12 +9,41 @@ combinational check changes:
 * two time frames of the product machine are Tseitin-encoded, the second
   frame reading the first frame's register data inputs;
 * the correspondence condition Q becomes equivalence clauses over frame-0
-  literals (rebuilt each iteration, since classes only ever split);
+  literals;
 * a candidate pair splits when SAT finds a Q-state/input pair under which
   the frame-1 literals differ.
 
 The result is bit-for-bit the same partition the BDD backend computes, a
 property the test suite checks.
+
+Incremental refinement (the default engine)
+-------------------------------------------
+
+The naive ("monolithic") formulation rebuilds a fresh solver and re-encodes
+both unrolled frames on every refinement round, discarding all learned
+clauses.  The incremental engine instead keeps **one solver and one
+encoding per** :meth:`SatCorrespondence.compute` call:
+
+* the ``k + 1`` unrolled frames are Tseitin-encoded exactly once, into an
+  incremental :class:`~repro.sat.solver.Solver` whose learned clauses,
+  VSIDS activities and watch lists persist across every round (see the
+  incremental invariant documented in ``sat/solver.py``);
+* the initial-state constraint of the base case is guarded by an
+  *activation literal* and only assumed by base-case queries, so base and
+  inductive queries share the single encoding;
+* each round's correspondence condition Q is added as equivalence clauses
+  guarded by a fresh per-round activation literal; queries assume the
+  literal, and retiring the round adds the unit ``-act`` so the refuted
+  constraints retract without rebuilding anything;
+* **counterexample-guided splitting**: every satisfying model is a concrete
+  unrolled-trace witness; it is replayed through bit-parallel simulation
+  (:mod:`repro.core.cexsplit`) and used to split *all* current classes at
+  once, so one SAT query can refine many classes before the next query.
+
+``SatCorrespondence.stats`` counts solver constructions, frame encodings,
+queries and counterexample splits; ``solver_stats()`` folds in the live
+solver's conflict/propagation counters.  Both are threaded through the
+``progress`` callback as ``refinement_round`` events for the service layer.
 """
 
 import time
@@ -24,9 +53,13 @@ from ..netlist.simulate import SequentialSimulator
 from ..reach.result import SecResult
 from ..sat.solver import Solver
 from ..sat.tseitin import TseitinEncoder
+from .cexsplit import partition_by_value, replay_pattern
 
 
 CONST_NET = "@const"
+
+#: Solver-effort counters copied from :meth:`Solver.stats` snapshots.
+_SOLVER_COUNTERS = ("conflicts", "decisions", "propagations", "restarts")
 
 
 class _SatSignal:
@@ -47,10 +80,18 @@ class SatCorrespondence:
     the initial state, and the inductive step assumes Q on k consecutive
     frames before checking frame k.  ``k=1`` is exactly the paper's
     iteration; larger k strictly increases proving power.
+
+    ``incremental`` selects the engine: ``True`` (default) keeps one solver
+    and one encoding for the whole fixed point, ``False`` preserves the
+    original round-per-solver formulation (kept as a differential baseline;
+    both compute the identical partition).  ``progress(kind, **data)`` is
+    called with ``refinement_round`` events carrying class counts and
+    solver statistics; ``cancel_check()`` is polled before every query.
     """
 
     def __init__(self, product, seed=2024, sim_frames=24, sim_width=32,
-                 time_limit=None, k=1):
+                 time_limit=None, k=1, incremental=True, progress=None,
+                 cancel_check=None):
         if k < 1:
             raise ValueError("induction depth k must be >= 1")
         self.product = product
@@ -61,6 +102,23 @@ class SatCorrespondence:
         self.sim_width = sim_width
         self.time_limit = time_limit
         self.k = k
+        self.incremental = incremental
+        self.progress = progress
+        self.cancel_check = cancel_check
+        self.stats = {
+            "solver_constructions": 0,
+            "frame_encodings": 0,
+            "rounds": 0,
+            "sat_queries": 0,
+            "cex_patterns": 0,
+            "cex_class_splits": 0,
+        }
+        for key in _SOLVER_COUNTERS:
+            self.stats[key] = 0
+        self._solver = None
+        self._frames = None
+        self._true_var = None
+        self._init_act = None
         self._simulate()
         self._signals = self._build_signals()
 
@@ -113,27 +171,65 @@ class SatCorrespondence:
         for sig in self._signals:
             buckets.setdefault(sig.signature, []).append(sig)
         classes = list(buckets.values())
-        classes = self._split_classes_at_initial(classes, deadline)
+        if self.incremental:
+            self._setup_incremental()
+            classes = self._split_at_initial_incremental(classes, deadline)
+        else:
+            classes = self._split_classes_at_initial(classes, deadline)
+        self._emit("initial_split", classes=len(classes),
+                   **self.solver_stats())
         iterations = 0
         while True:
             iterations += 1
             if max_iterations is not None and iterations > max_iterations:
                 raise ResourceBudgetExceeded("SAT fixpoint budget exhausted")
-            classes, changed = self._refine_round(classes, deadline)
+            if self.incremental:
+                classes, changed = self._refine_round_incremental(
+                    classes, deadline)
+            else:
+                classes, changed = self._refine_round(classes, deadline)
+            self.stats["rounds"] = iterations
+            self._emit("refinement_round", round=iterations,
+                       classes=len(classes), changed=changed,
+                       **self.solver_stats())
             if not changed:
                 return classes, iterations
 
-    def _check_deadline(self, deadline):
+    def solver_stats(self):
+        """Engine counters with the live solver's effort folded in."""
+        stats = dict(self.stats)
+        if self._solver is not None:
+            live = self._solver.stats()
+            for key in _SOLVER_COUNTERS:
+                stats[key] += live[key]
+            stats["learned"] = live["learned"]
+            stats["clauses"] = live["clauses"]
+        return stats
+
+    def _emit(self, kind, **data):
+        if self.progress is not None:
+            self.progress(kind, **data)
+
+    def _absorb_solver(self, solver):
+        """Fold a discarded (monolithic-round) solver's effort into stats."""
+        live = solver.stats()
+        for key in _SOLVER_COUNTERS:
+            self.stats[key] += live[key]
+
+    def _check_budget(self, deadline):
         if deadline is not None and time.monotonic() > deadline:
             raise ResourceBudgetExceeded("SAT fixpoint time budget exhausted")
+        if self.cancel_check is not None and self.cancel_check():
+            raise ResourceBudgetExceeded("cancelled")
 
-    def _encode_unrolled(self, enc, n_frames, fix_initial):
+    def _encode_unrolled(self, enc, n_frames):
         """Encode ``n_frames`` consecutive frames; returns their var maps.
 
-        Frame j > 0 reads frame j-1's register data inputs; frame 0 is the
-        initial state when ``fix_initial`` (unit clauses added by caller) or
-        a free symbolic state otherwise.
+        Frame j > 0 reads frame j-1's register data inputs; frame 0 is a
+        free symbolic state (base-case callers pin it with unit or guarded
+        clauses).
         """
+        self.stats["frame_encodings"] += 1
         frames = []
         leaves = None
         for _ in range(n_frames):
@@ -145,13 +241,186 @@ class SatCorrespondence:
             }
         return frames
 
-    def _split_classes_at_initial(self, classes, deadline):
-        """Base case: members agree on the first k frames from s0 (Eq. 2
-        for k = 1, its k-induction generalization otherwise)."""
+    def _new_solver(self):
+        self.stats["solver_constructions"] += 1
+        return Solver()
+
+    # -- incremental engine ----------------------------------------------------
+
+    def _setup_incremental(self):
+        """One encoding, one solver, both shared by base case and rounds."""
         enc = TseitinEncoder()
-        frames = self._encode_unrolled(enc, self.k, fix_initial=True)
+        self._frames = self._encode_unrolled(enc, self.k + 1)
+        self._true_var = enc.new_var()
+        solver = self._new_solver()
+        solver.add_cnf(enc.cnf)
+        solver.add_clause([self._true_var])
+        # Initial-state constraint, guarded: only base-case queries assume
+        # the activation literal, so the same frames serve the free-state
+        # inductive queries.
+        self._init_act = solver.new_var()
+        for net, reg in self.circuit.registers.items():
+            var = self._frames[0][net]
+            solver.add_clause([var if reg.init else -var, -self._init_act])
+        self._solver = solver
+
+    def _lit(self, sig, frame_vars):
+        var = self._true_var if sig.net == CONST_NET else frame_vars[sig.net]
+        return -var if sig.complemented else var
+
+    def _query(self, assumptions, deadline):
+        self._check_budget(deadline)
+        self.stats["sat_queries"] += 1
+        return self._solver.solve(assumptions=assumptions)
+
+    def _replay_model(self, n_frames):
+        """Replay the current model's trace; per-frame net valuations."""
+        solver = self._solver
+        state = {
+            net: solver.value(self._frames[0][net])
+            for net in self.circuit.registers
+        }
+        input_frames = [
+            {net: solver.value(self._frames[j][net])
+             for net in self.circuit.inputs}
+            for j in range(n_frames)
+        ]
+        self.stats["cex_patterns"] += 1
+        return replay_pattern(self.circuit, state, input_frames)
+
+    def _value_key(self, frame_values):
+        """Pack the replayed per-frame bits of a signal into one word."""
+        n = len(frame_values)
+        full = (1 << n) - 1
+
+        def value_of(sig):
+            if sig.net == CONST_NET:
+                word = full
+            else:
+                word = 0
+                for values in frame_values:
+                    word = (word << 1) | (values[sig.net] & 1)
+            return word ^ (full if sig.complemented else 0)
+
+        return value_of
+
+    def _split_items(self, items, value_of):
+        """Split every pending ``(verified, rest)`` item by replayed values.
+
+        Verified members are equal to their leader in *every* state the
+        current queries range over — the witness included — so only the
+        unprocessed ``rest`` can leave; leftover groups become new items.
+        """
+        out = []
+        for verified, rest in items:
+            groups = partition_by_value([verified[0]] + rest, value_of)
+            if len(groups) > 1:
+                self.stats["cex_class_splits"] += 1
+            out.append((verified, groups[0][1:]))
+            for group in groups[1:]:
+                out.append(([group[0]], group[1:]))
+        return out
+
+    def _split_at_initial_incremental(self, classes, deadline):
+        """Base case on the shared encoding: members agree on the first k
+        frames from s0 (Eq. 2 for k = 1, its k-induction generalization
+        otherwise), with counterexample inputs replayed against all
+        classes."""
+        base_frames = self._frames[:self.k]
+        done = [cls for cls in classes if len(cls) == 1]
+        items = [([cls[0]], cls[1:]) for cls in classes if len(cls) > 1]
+        while items:
+            verified, rest = items.pop()
+            if not rest:
+                done.append(verified)
+                continue
+            member = rest.pop(0)
+            leader = verified[0]
+            model_frames = None
+            for frame_vars in base_frames:
+                la = self._lit(leader, frame_vars)
+                lb = self._lit(member, frame_vars)
+                for assumptions in ([self._init_act, la, -lb],
+                                    [self._init_act, -la, lb]):
+                    if self._query(assumptions, deadline):
+                        model_frames = self._replay_model(self.k)
+                        break
+                if model_frames is not None:
+                    break
+            if model_frames is None:
+                verified.append(member)
+                items.append((verified, rest))
+                continue
+            # The witness inputs distinguish leader and member somewhere in
+            # the base window; split everything still pending by the full
+            # k-frame value words.
+            items.append((verified, [member] + rest))
+            items = self._split_items(items, self._value_key(model_frames))
+        # The base case is settled for good; retire its guard so the
+        # initial-state clauses don't tax the inductive rounds.
+        self._solver.add_clause([-self._init_act])
+        self._solver.simplify()
+        return done
+
+    def _refine_round_incremental(self, classes, deadline):
+        """One Eq. 3 round: Q guarded by a fresh activation literal, models
+        replayed into mass splits, refuted constraints retired by unit."""
+        solver = self._solver
+        act = solver.new_var()
+        for frame_vars in self._frames[:-1]:
+            for cls in classes:
+                if len(cls) < 2:
+                    continue
+                rep = self._lit(cls[0], frame_vars)
+                for member in cls[1:]:
+                    m = self._lit(member, frame_vars)
+                    # Guard literal last: the solver watches the first two
+                    # literals, so assuming ``act`` does not walk the whole
+                    # round's clause group on every single query.
+                    solver.add_clause([-rep, m, -act])
+                    solver.add_clause([rep, -m, -act])
+        check_frame = self._frames[-1]
+        done = [cls for cls in classes if len(cls) == 1]
+        items = [([cls[0]], list(cls[1:])) for cls in classes if len(cls) > 1]
+        while items:
+            verified, rest = items.pop()
+            if not rest:
+                done.append(verified)
+                continue
+            member = rest.pop(0)
+            la = self._lit(verified[0], check_frame)
+            lb = self._lit(member, check_frame)
+            distinguished = False
+            for assumptions in ([act, la, -lb], [act, -la, lb]):
+                if self._query(assumptions, deadline):
+                    distinguished = True
+                    break
+            if not distinguished:
+                verified.append(member)
+                items.append((verified, rest))
+                continue
+            # The model satisfies Q on the first k frames, so the replayed
+            # check-frame valuation is a legitimate Eq. 3 splitter for
+            # every class, not just this pair.
+            check_values = self._replay_model(self.k + 1)[-1]
+            items.append((verified, [member] + rest))
+            items = self._split_items(items, self._value_key([check_values]))
+        # Retire this round's Q: the unit permanently satisfies the guarded
+        # clauses, and simplify() physically drops them (plus any learned
+        # clauses mentioning the guard) so propagation cost tracks the live
+        # formula instead of growing with every retired round.
+        solver.add_clause([-act])
+        solver.simplify()
+        return done, len(done) > len(classes)
+
+    # -- monolithic engine (differential baseline) -----------------------------
+
+    def _split_classes_at_initial(self, classes, deadline):
+        """Base case with a throwaway per-call solver (original engine)."""
+        enc = TseitinEncoder()
+        frames = self._encode_unrolled(enc, self.k)
         true_var = enc.new_var()
-        solver = Solver()
+        solver = self._new_solver()
         solver.add_cnf(enc.cnf)
         solver.add_clause([true_var])
         for net, reg in self.circuit.registers.items():
@@ -163,21 +432,26 @@ class SatCorrespondence:
             return -var if sig.complemented else var
 
         def differ(a, b):
-            self._check_deadline(deadline)
+            self._check_budget(deadline)
             for frame_vars in frames:
                 la, lb = lit(a, frame_vars), lit(b, frame_vars)
                 for assumptions in ([la, -lb], [-la, lb]):
+                    self.stats["sat_queries"] += 1
                     if solver.solve(assumptions=assumptions):
                         return True
             return False
 
-        return _split_all(classes, differ)
+        try:
+            return _split_all(classes, differ)
+        finally:
+            self._absorb_solver(solver)
 
     def _refine_round(self, classes, deadline):
+        """One Eq. 3 round, rebuilt from scratch (original engine)."""
         enc = TseitinEncoder()
-        frames = self._encode_unrolled(enc, self.k + 1, fix_initial=False)
+        frames = self._encode_unrolled(enc, self.k + 1)
         true_var = enc.new_var()
-        solver = Solver()
+        solver = self._new_solver()
         solver.add_cnf(enc.cnf)
         solver.add_clause([true_var])
 
@@ -200,15 +474,19 @@ class SatCorrespondence:
         check_frame = frames[-1]
 
         def differ(a, b):
-            self._check_deadline(deadline)
+            self._check_budget(deadline)
             la, lb = lit(a, check_frame), lit(b, check_frame)
             for assumptions in ([la, -lb], [-la, lb]):
+                self.stats["sat_queries"] += 1
                 if solver.solve(assumptions=assumptions):
                     changed_any[0] = True
                     return True
             return False
 
-        new_classes = _split_all(classes, differ)
+        try:
+            new_classes = _split_all(classes, differ)
+        finally:
+            self._absorb_solver(solver)
         return new_classes, changed_any[0]
 
 
@@ -242,13 +520,18 @@ def check_equivalence_sat_sweep(spec, impl, match_inputs="name",
                                 match_outputs="order", seed=2024,
                                 sim_frames=24, sim_width=32,
                                 time_limit=None, max_iterations=None, k=1,
-                                use_retiming=False, max_retiming_rounds=3):
+                                use_retiming=False, max_retiming_rounds=3,
+                                incremental=True, progress=None,
+                                cancel_check=None):
     """SEC by SAT-based signal correspondence; returns a :class:`SecResult`.
 
     Sound and incomplete exactly like the BDD engine.  ``k > 1`` runs
     k-induction; ``use_retiming`` runs the Fig. 4 loop (lag-1 signal
     augmentation between fixed points), both strictly increasing proving
-    power.
+    power.  ``incremental=False`` falls back to the solver-per-round
+    baseline engine (identical verdicts, kept for differential testing and
+    benchmarking).  ``progress``/``cancel_check`` are the service-layer
+    hooks shared with the BDD engine.
     """
     from ..netlist.product import build_product
     from .retiming_aug import CircuitAugmenter
@@ -262,42 +545,64 @@ def check_equivalence_sat_sweep(spec, impl, match_inputs="name",
     total_iterations = 0
     retime_rounds = 0
     classes = []
+    totals = None
     while True:
         remaining = None if deadline is None else deadline - time.monotonic()
         engine = SatCorrespondence(
             _AugmentedProduct(product, working), seed=seed,
             sim_frames=sim_frames, sim_width=sim_width,
-            time_limit=remaining, k=k,
+            time_limit=remaining, k=k, incremental=incremental,
+            progress=progress, cancel_check=cancel_check,
         )
         try:
             classes, iterations = engine.compute(
                 max_iterations=max_iterations
             )
         except ResourceBudgetExceeded as exc:
+            details = {"aborted": str(exc)}
+            details["solver_stats"] = _merge_stats(
+                totals, engine.solver_stats())
             return SecResult(equivalent=None, method="van_eijk_sat",
                              seconds=time.monotonic() - start,
-                             details={"aborted": str(exc)})
+                             details=details)
         total_iterations += iterations
+        totals = _merge_stats(totals, engine.solver_stats())
         if _outputs_proved_sat(product, classes):
             return SecResult(
                 equivalent=True,
                 method="van_eijk_sat",
                 iterations=total_iterations,
                 seconds=time.monotonic() - start,
-                details=_sat_details(classes, engine.k, retime_rounds),
+                details=_sat_details(classes, engine.k, retime_rounds,
+                                     totals),
             )
         if not use_retiming or retime_rounds >= max_retiming_rounds:
             break
         if not augmenter.augment_round():
             break
         retime_rounds += 1
+        if progress is not None:
+            progress("retiming_round", round=retime_rounds)
     return SecResult(
         equivalent=None,
         method="van_eijk_sat",
         iterations=total_iterations,
         seconds=time.monotonic() - start,
-        details=_sat_details(classes, k, retime_rounds),
+        details=_sat_details(classes, k, retime_rounds, totals),
     )
+
+
+def _merge_stats(totals, stats):
+    """Sum engine stats across Fig. 4 retiming rounds (snapshots override)."""
+    if totals is None:
+        return dict(stats)
+    merged = dict(totals)
+    for key, value in stats.items():
+        if key in ("learned", "clauses"):
+            merged[key] = value  # database-size snapshots, not counters
+        else:
+            merged[key] = merged.get(key, 0) + value
+    return merged
 
 
 def _outputs_proved_sat(product, classes):
@@ -315,10 +620,13 @@ def _outputs_proved_sat(product, classes):
     return True
 
 
-def _sat_details(classes, k, retime_rounds):
-    return {
+def _sat_details(classes, k, retime_rounds, solver_stats=None):
+    details = {
         "classes": len(classes),
         "functions": sum(len(c) for c in classes),
         "k": k,
         "retime_rounds": retime_rounds,
     }
+    if solver_stats is not None:
+        details["solver_stats"] = dict(solver_stats)
+    return details

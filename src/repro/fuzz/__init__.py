@@ -1,8 +1,10 @@
 """Differential fuzzing of the verification engines.
 
-The repo races three engines whose verdicts must agree whenever two are
-conclusive, and the paper's method is trusted to be *sound* — this package
-is the machinery that checks both claims continuously instead of hoping:
+The repo races four engines whose verdicts must agree whenever two are
+conclusive — including the paper's method under *both* refinement backends
+(BDD fixed point and incremental SAT sweep), which must compute the same
+relation — and the method is trusted to be *sound*.  This package is the
+machinery that checks those claims continuously instead of hoping:
 
 * :mod:`repro.fuzz.generate` — seeded circuit pairs with a known
   equivalence label (recipes: base generator parameters + a transform

@@ -47,11 +47,13 @@ from .generate import FuzzCase, make_recipe
 from .replay import validate_refutation
 from .shrink import recipe_size, shrink_recipe
 
-#: The default battery: the paper's prover, the complete falsifier, and the
-#: complete-but-expensive baseline — the same trio the portfolio races.
+#: The default battery: the paper's prover (both refinement backends — the
+#: BDD fixed point and the incremental SAT sweep must agree pair for pair),
+#: the complete falsifier, and the complete-but-expensive baseline.
 #: Budgets are sized for the small circuits the fuzzer generates.
 DEFAULT_FUZZ_ENGINES = (
     ("van_eijk", {}),
+    ("sat_sweep", {"sim_frames": 16, "sim_width": 16}),
     ("bmc", {"max_depth": 12}),
     ("traversal", {"max_iterations": 256}),
 )

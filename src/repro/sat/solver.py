@@ -6,6 +6,38 @@ SAT refinement backend of the signal-correspondence engine needs: frame-0
 equivalence assumptions are added as (retractable) assumption literals, and
 each candidate pair becomes one ``solve(assumptions=...)`` query.
 
+The incremental invariant
+-------------------------
+
+``add_clause``/``add_cnf`` and ``solve(assumptions=...)`` may be interleaved
+freely, and the sequence must behave exactly like a fresh solver given the
+accumulated clause set:
+
+* **learned clauses, VSIDS activities, saved phases and watch lists are
+  preserved across ``solve`` calls** — assumptions enter the search as
+  decisions, so conflict analysis only ever resolves over problem and
+  learned clauses, which makes every learned clause a logical consequence
+  of the *base* formula alone (never of the assumptions).  Keeping them is
+  therefore sound for any later query, including queries under different
+  assumptions;
+* a query that is UNSAT *under its assumptions* leaves the base formula
+  intact and reusable (``ok`` stays true); only a top-level conflict marks
+  the base formula itself unsatisfiable;
+* a ``solve`` aborted by ``conflict_budget`` (returning ``None``) backtracks
+  to the root and leaves the solver fully reusable — clauses learned before
+  the abort are kept;
+* ``add_clause`` backtracks to the root first, so a previous model is
+  invalidated by any mutation (re-``solve`` to get a fresh one);
+* consecutive queries sharing an assumption *prefix* reuse the trail: the
+  matching decision levels and their propagation cones survive between
+  ``solve`` calls (including after an UNSAT-under-assumptions answer), which
+  is invisible semantically but makes activation-literal query batches cheap;
+* :meth:`Solver.simplify` physically deletes root-satisfied clauses — the
+  retirement step for activation-literal-guarded clause groups.
+
+``tests/sat/test_incremental.py`` property-checks this invariant against
+fresh re-solves of the accumulated CNF.
+
 Internal literal encoding: variable ``v`` (0-based) has literals ``2v``
 (positive) and ``2v + 1`` (negative); the public API speaks DIMACS integers.
 """
@@ -142,7 +174,6 @@ class Solver:
         """
         if not self.ok:
             return False
-        self._backtrack(0)
         conflict_count_start = self.conflicts
         conflicts_at_restart = self.conflicts
         restart_idx = 1
@@ -150,6 +181,20 @@ class Solver:
         assumption_lits = [_to_internal(lit) for lit in assumptions]
         for lit in assumption_lits:
             self.ensure_vars((lit >> 1) + 1)
+        # Trail reuse: keep the longest decision-level prefix whose decision
+        # literals re-place these assumptions in order, so the propagation
+        # cone of a shared assumption prefix (e.g. an activation literal
+        # enabling a large constraint group) is not recomputed per query.
+        keep = 0
+        while keep < self._decision_level() and keep < len(assumption_lits):
+            start = self.trail_lim[keep]
+            end = (self.trail_lim[keep + 1]
+                   if keep + 1 < len(self.trail_lim) else len(self.trail))
+            if start < end and self.trail[start] == assumption_lits[keep]:
+                keep += 1
+            else:
+                break
+        self._backtrack(keep)
         while True:
             conflict = self._propagate()
             if conflict is not None:
@@ -186,7 +231,9 @@ class Solver:
                         self.trail_lim.append(len(self.trail))
                         continue
                     if value == FALSE:
-                        self._backtrack(0)
+                        # UNSAT under the assumptions.  The trail is left at
+                        # the already-placed prefix so the next query can
+                        # reuse it (solve() re-validates the prefix anyway).
                         return False
                     self.trail_lim.append(len(self.trail))
                     self._enqueue(lit, None)
@@ -209,6 +256,65 @@ class Solver:
     def value(self, dimacs_var):
         v = self.assign[dimacs_var - 1]
         return None if v == UNASSIGNED else v == TRUE
+
+    def simplify(self):
+        """Physically remove clauses satisfied at the root level.
+
+        The incremental engine retires an activation-literal-guarded clause
+        group by adding the unit ``[-act]``; the group's clauses are then
+        permanently satisfied but still sit in the watch lists, taxing every
+        later propagation.  ``simplify`` (MiniSat's ``Simplify``) drops
+        satisfied problem and learned clauses, strips permanently false
+        literals from the survivors, and rebuilds the watch lists — all of
+        which preserves the incremental invariant because root facts never
+        change again.  Returns ``False`` iff the formula is UNSAT.
+        """
+        if not self.ok:
+            return False
+        self._backtrack(0)
+        if self._propagate() is not None:
+            self.ok = False
+            return False
+        for lit in self.trail:
+            # Root facts are never resolved over again (conflict analysis
+            # skips level-0 literals), so their reasons can be dropped.
+            self.reason[lit >> 1] = None
+        for store in (self.clauses, self.learned):
+            kept = []
+            for clause in store:
+                if any(self._lit_value(lit) == TRUE for lit in clause):
+                    continue
+                # Propagation ran to fixpoint, so a surviving clause keeps
+                # at least two non-false literals.
+                clause[:] = [l for l in clause
+                             if self._lit_value(l) != FALSE]
+                kept.append(clause)
+            store[:] = kept
+        for lit in range(2 * self.num_vars):
+            self.watches[lit] = []
+        for clause in self.clauses:
+            self._watch_clause(clause)
+        for clause in self.learned:
+            self._watch_clause(clause)
+        return True
+
+    def stats(self):
+        """Snapshot of search-effort counters and database sizes.
+
+        Counters (``conflicts``, ``decisions``, ``propagations``,
+        ``restarts``) accumulate over the solver's lifetime — across
+        incremental ``solve`` calls — which is what lets callers attribute
+        effort to individual refinement rounds by differencing snapshots.
+        """
+        return {
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "restarts": self.restarts,
+            "learned": len(self.learned),
+            "clauses": len(self.clauses),
+            "num_vars": self.num_vars,
+        }
 
     # -- internals ---------------------------------------------------------
 

@@ -33,6 +33,14 @@ ENGINE_FINISHED = "engine_finished"
 ENGINE_WON = "engine_won"
 ENGINE_CANCELLED = "engine_cancelled"
 ENGINE_CEX_REJECTED = "engine_cex_rejected"
+# Engine progress kinds carried inside JOB_PROGRESS events (``data["kind"]``):
+# per-iteration ticks of the BDD fixed point, per-round SAT refinement stats
+# (classes, sat_queries, cex_patterns, conflicts, propagations, restarts,
+# learned) and Fig. 4 retiming-round boundaries.
+PROGRESS_ITERATION = "iteration"
+PROGRESS_INITIAL_SPLIT = "initial_split"
+PROGRESS_REFINEMENT_ROUND = "refinement_round"
+PROGRESS_RETIMING_ROUND = "retiming_round"
 FUZZ_STARTED = "fuzz_started"
 FUZZ_CASE_FINISHED = "fuzz_case_finished"
 FUZZ_DISAGREEMENT = "fuzz_disagreement"

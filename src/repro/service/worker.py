@@ -73,7 +73,8 @@ def run_job(job, emit=None, cancel_check=None):
 
         return check_equivalence_sat_sweep(
             job.spec, job.impl, match_inputs=job.match_inputs,
-            match_outputs=job.match_outputs, **options)
+            match_outputs=job.match_outputs, progress=progress,
+            cancel_check=cancel_check, **options)
     product = build_product(job.spec, job.impl,
                             match_inputs=job.match_inputs,
                             match_outputs=job.match_outputs)
