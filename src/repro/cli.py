@@ -8,6 +8,13 @@ Subcommands::
     repro-sec fuzz [--iterations 200] [--seed 0] [--corpus-dir tests/corpus]
     repro-sec table1 [--scales small medium] [--optimize-level 2]
     repro-sec info circuit.bench
+    repro-sec serve [--host 127.0.0.1] [--port 8439] [--workers 2]
+    repro-sec remote {verify,status,cancel,watch,stats} --server URL ...
+    repro-sec cache [--stats | --prune | --clear] [--cache-dir DIR]
+
+``batch``, ``fuzz`` and ``table1`` accept ``--server URL`` to route their
+jobs through a running ``repro-sec serve`` daemon instead of a local
+scheduler (see ``docs/SERVER.md``).
 
 Circuit files are ``.bench`` or BLIF (chosen by extension).  ``--json``
 prints the shared machine-readable serialization
@@ -156,17 +163,22 @@ def _cmd_batch(args):
     if args.events:
         writer = JsonlEventWriter(args.events)
         bus.subscribe(writer)
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    scheduler = BatchScheduler(
-        workers=args.workers,
-        cache=cache,
-        bus=bus,
-        retries=args.retries,
-        fallback_method=args.fallback,
-        job_time_limit=args.time_limit,
-        total_time_limit=args.total_time_limit,
-        node_limit=args.node_limit,
-    )
+    if args.server:
+        from .client import RemoteScheduler
+
+        scheduler = RemoteScheduler(args.server, bus=bus)
+    else:
+        cache = None if args.no_cache else ResultCache(args.cache_dir)
+        scheduler = BatchScheduler(
+            workers=args.workers,
+            cache=cache,
+            bus=bus,
+            retries=args.retries,
+            fallback_method=args.fallback,
+            job_time_limit=args.time_limit,
+            total_time_limit=args.total_time_limit,
+            node_limit=args.node_limit,
+        )
     try:
         results = scheduler.run(jobs)
     except KeyboardInterrupt:
@@ -176,6 +188,12 @@ def _cmd_batch(args):
     finally:
         if writer is not None:
             writer.close()
+    if getattr(scheduler, "interrupted", None):
+        # The scheduler's signal handlers already cancelled the workers
+        # gracefully and flushed the event stream.
+        print("\nbatch: interrupted ({})".format(scheduler.interrupted),
+              file=sys.stderr)
+        return 130
     if args.json:
         print(json.dumps([r.as_dict() for r in results], sort_keys=True))
     if any(r.verdict is False for r in results):
@@ -197,6 +215,11 @@ def _cmd_fuzz(args):
         writer = JsonlEventWriter(args.events)
         bus.subscribe(writer)
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    scheduler = None
+    if args.server:
+        from .client import RemoteScheduler
+
+        scheduler = RemoteScheduler(args.server, bus=bus)
     fuzzer = DifferentialFuzzer(
         seed=args.seed,
         engines=args.engines,
@@ -205,6 +228,7 @@ def _cmd_fuzz(args):
         bus=bus,
         cache=cache,
         job_time_limit=args.time_limit,
+        scheduler=scheduler,
     )
     try:
         report = fuzzer.run(iterations=args.iterations,
@@ -280,15 +304,196 @@ def _cmd_table1(args):
     from .circuits import table1_suite
     from .eval import render_table1, run_table
 
+    scheduler = None
+    if args.server:
+        from .client import RemoteScheduler
+
+        scheduler = RemoteScheduler(args.server)
     rows = table1_suite(scales=tuple(args.scales))
     results = run_table(
         rows,
         workers=args.workers,
+        scheduler=scheduler,
         optimize_level=args.optimize_level,
         traversal_time_limit=args.traversal_time_limit,
         proposed_time_limit=args.proposed_time_limit,
     )
     print(render_table1(results))
+    return 0
+
+
+def _cmd_serve(args):
+    from .server import serve
+    from .service import EventBus, JsonlEventWriter, LiveRenderer
+
+    bus = EventBus()
+    if not args.quiet:
+        bus.subscribe(LiveRenderer(verbose=args.verbose))
+    writer = None
+    if args.events:
+        writer = JsonlEventWriter(args.events)
+        bus.subscribe(writer)
+    try:
+        return serve(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            store_dir=args.store_dir,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            cache_max_entries=args.cache_max_entries,
+            cache_max_bytes=args.cache_max_bytes,
+            queue_limit=args.queue_limit,
+            job_time_limit=args.time_limit,
+            rate=args.rate,
+            burst=args.burst,
+            ready_file=args.ready_file,
+            bus=bus,
+        )
+    finally:
+        if writer is not None:
+            writer.close()
+
+
+def _remote_client(args):
+    from .client import ServerClient
+
+    return ServerClient(args.server)
+
+
+def _watch_events(client, job_id, json_mode):
+    """Stream a job's SSE events to completion; returns the final record."""
+    from .service import LiveRenderer
+    from .service.events import Event
+
+    renderer = None if json_mode else LiveRenderer(verbose=True)
+    for payload in client.events(job_id):
+        if payload.get("type") == "done":
+            return payload["record"]
+        if renderer is not None:
+            renderer(Event.from_dict(payload))
+        elif json_mode == "events":
+            print(json.dumps(payload, sort_keys=True))
+    # Stream ended without a terminal event (daemon shut down mid-job).
+    return client.job(job_id)
+
+
+def _remote_record_exit(record, json_mode):
+    from .client import remote_job_result
+
+    job_result = remote_job_result(record)
+    if json_mode:
+        print(json.dumps(record, sort_keys=True))
+    else:
+        print("job {}: {} ({}{})".format(
+            record["id"], record["state"],
+            {True: "proved", False: "REFUTED", None: "undecided"}[
+                job_result.verdict],
+            ", cached" if job_result.cached else ""))
+        if job_result.result is not None:
+            _print_result_text(job_result.result)
+        elif record.get("error"):
+            print("  error: {}".format(record["error"]))
+    if record["state"] == "cancelled":
+        return 3
+    if record["state"] == "error":
+        return 1
+    result = job_result.result
+    return _result_exit_code(result) if result is not None else 1
+
+
+def _cmd_remote(args):
+    from .client import ServerError
+
+    try:
+        return args.remote_func(args)
+    except ServerError as exc:
+        print("remote: {}".format(exc), file=sys.stderr)
+        return 1
+
+
+def _remote_verify(args):
+    client = _remote_client(args)
+    options = {}
+    if args.time_limit:
+        options["time_limit"] = args.time_limit
+    if args.max_depth is not None:
+        options["max_depth"] = args.max_depth
+    if args.suite:
+        job_id = client.submit_suite(
+            args.suite, method=args.method, options=options,
+            optimize_level=args.optimize_level)
+    else:
+        if not (args.spec and args.impl):
+            print("error: give SPEC and IMPL files or --suite ROW",
+                  file=sys.stderr)
+            return 2
+        spec = _load_circuit(args.spec)
+        impl = _load_circuit(args.impl)
+        job_id = client.submit(
+            spec, impl, method=args.method, options=options,
+            match_inputs=args.match_inputs,
+            match_outputs=args.match_outputs)
+    if not args.json:
+        print("submitted {}".format(job_id))
+    if args.no_watch:
+        record = client.wait(job_id)
+    else:
+        record = _watch_events(client, job_id, "json" if args.json else None)
+    return _remote_record_exit(record, args.json)
+
+
+def _remote_status(args):
+    client = _remote_client(args)
+    if args.job_id:
+        record = client.job(args.job_id)
+        print(json.dumps(record, sort_keys=True, indent=2))
+        return 0
+    for summary in client.jobs():
+        print("{id}  {state:<9}  {name}  ({method})".format(**summary))
+    return 0
+
+
+def _remote_cancel(args):
+    client = _remote_client(args)
+    response = client.cancel(args.job_id)
+    print(json.dumps(response, sort_keys=True))
+    return 0
+
+
+def _remote_watch(args):
+    client = _remote_client(args)
+    record = _watch_events(client, args.job_id,
+                           "events" if args.json else None)
+    return _remote_record_exit(record, args.json)
+
+
+def _remote_stats(args):
+    client = _remote_client(args)
+    print(json.dumps(client.stats(), sort_keys=True, indent=2))
+    return 0
+
+
+def _cmd_cache(args):
+    from .service import ResultCache
+
+    cache = ResultCache(args.cache_dir, max_entries=args.max_entries,
+                        max_bytes=args.max_bytes)
+    if args.clear:
+        before = len(cache)
+        cache.clear()
+        print("cache: cleared {} entries".format(before))
+        return 0
+    if args.prune:
+        if args.max_entries is None and args.max_bytes is None:
+            print("error: --prune needs --max-entries and/or --max-bytes",
+                  file=sys.stderr)
+            return 2
+        evicted = cache.prune()
+        print("cache: evicted {} entries ({} left, {} bytes)".format(
+            evicted, len(cache), cache.total_bytes()))
+        return 0
+    for key, value in sorted(cache.stats().items()):
+        print("{}: {}".format(key, value))
     return 0
 
 
@@ -368,6 +573,9 @@ def build_parser():
                          help="print per-job results as JSON")
     p_batch.add_argument("--verbose", action="store_true",
                          help="also print per-iteration progress events")
+    p_batch.add_argument("--server", metavar="URL",
+                         help="route jobs through a repro-sec serve daemon "
+                              "instead of a local scheduler")
     p_batch.set_defaults(func=_cmd_batch)
 
     p_fuzz = sub.add_parser(
@@ -396,6 +604,9 @@ def build_parser():
                         help="print the full fuzz report as JSON")
     p_fuzz.add_argument("--verbose", action="store_true",
                         help="print one line per fuzz case")
+    p_fuzz.add_argument("--server", metavar="URL",
+                        help="run the engine battery on a repro-sec serve "
+                             "daemon (shrinking stays local)")
     p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_table = sub.add_parser("table1", help="run the Table-1 experiment")
@@ -406,11 +617,118 @@ def build_parser():
     p_table.add_argument("--optimize-level", type=int, default=2)
     p_table.add_argument("--traversal-time-limit", type=float, default=60.0)
     p_table.add_argument("--proposed-time-limit", type=float, default=300.0)
+    p_table.add_argument("--server", metavar="URL",
+                         help="run the table's jobs on a repro-sec serve "
+                              "daemon")
     p_table.set_defaults(func=_cmd_table1)
 
     p_info = sub.add_parser("info", help="print circuit statistics")
     p_info.add_argument("circuit")
     p_info.set_defaults(func=_cmd_info)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the network verification daemon")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8439,
+                         help="TCP port (0 = pick an ephemeral port)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="parallel worker processes")
+    p_serve.add_argument("--store-dir", default=".repro-server",
+                         help="persistent job store (queue survives "
+                              "restarts)")
+    p_serve.add_argument("--cache-dir", default=".repro-cache")
+    p_serve.add_argument("--no-cache", action="store_true")
+    p_serve.add_argument("--cache-max-entries", type=int)
+    p_serve.add_argument("--cache-max-bytes", type=int)
+    p_serve.add_argument("--queue-limit", type=int, default=64,
+                         help="max queued+running jobs before submissions "
+                              "get 429 backpressure")
+    p_serve.add_argument("--time-limit", type=float,
+                         help="per-job engine time budget (seconds)")
+    p_serve.add_argument("--rate", type=float, default=20.0,
+                         help="per-client request rate (requests/second)")
+    p_serve.add_argument("--burst", type=int, default=40,
+                         help="per-client burst allowance")
+    p_serve.add_argument("--ready-file", metavar="FILE",
+                         help="write {host, port, pid, url} JSON once "
+                              "listening (for scripts and tests)")
+    p_serve.add_argument("--events", metavar="FILE",
+                         help="append the JSONL event stream to FILE")
+    p_serve.add_argument("--quiet", action="store_true",
+                         help="suppress the live event log")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="also log per-iteration progress events")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_remote = sub.add_parser(
+        "remote", help="talk to a repro-sec serve daemon")
+    remote_sub = p_remote.add_subparsers(dest="remote_command", required=True)
+
+    def add_server_arg(p):
+        p.add_argument("--server", required=True, metavar="URL",
+                       help="daemon base URL, e.g. http://127.0.0.1:8439")
+
+    pr_verify = remote_sub.add_parser(
+        "verify", help="submit a job and stream it to completion")
+    pr_verify.add_argument("spec", nargs="?")
+    pr_verify.add_argument("impl", nargs="?")
+    add_server_arg(pr_verify)
+    pr_verify.add_argument("--suite", metavar="ROW",
+                           help="verify a named Table-1 suite pair built "
+                                "server-side (instead of SPEC IMPL files)")
+    pr_verify.add_argument("--method", choices=METHODS, default="van_eijk")
+    pr_verify.add_argument("--optimize-level", type=int, default=2)
+    pr_verify.add_argument("--match-inputs", choices=["name", "order"],
+                           default="name")
+    pr_verify.add_argument("--match-outputs", choices=["name", "order"],
+                           default="order")
+    pr_verify.add_argument("--time-limit", type=float)
+    pr_verify.add_argument("--max-depth", type=int,
+                           help="BMC unrolling bound")
+    pr_verify.add_argument("--no-watch", action="store_true",
+                           help="poll for the verdict instead of streaming "
+                                "the SSE progress events")
+    pr_verify.add_argument("--json", action="store_true")
+    pr_verify.set_defaults(func=_cmd_remote, remote_func=_remote_verify)
+
+    pr_status = remote_sub.add_parser(
+        "status", help="show one job (or list all jobs)")
+    pr_status.add_argument("job_id", nargs="?")
+    add_server_arg(pr_status)
+    pr_status.set_defaults(func=_cmd_remote, remote_func=_remote_status)
+
+    pr_cancel = remote_sub.add_parser("cancel", help="cancel a job")
+    pr_cancel.add_argument("job_id")
+    add_server_arg(pr_cancel)
+    pr_cancel.set_defaults(func=_cmd_remote, remote_func=_remote_cancel)
+
+    pr_watch = remote_sub.add_parser(
+        "watch", help="stream a job's SSE events to completion")
+    pr_watch.add_argument("job_id")
+    add_server_arg(pr_watch)
+    pr_watch.add_argument("--json", action="store_true",
+                          help="print raw event JSON lines")
+    pr_watch.set_defaults(func=_cmd_remote, remote_func=_remote_watch)
+
+    pr_stats = remote_sub.add_parser("stats", help="print daemon stats")
+    add_server_arg(pr_stats)
+    pr_stats.set_defaults(func=_cmd_remote, remote_func=_remote_stats)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or trim the result cache")
+    p_cache.add_argument("--cache-dir", default=".repro-cache")
+    p_cache.add_argument("--stats", action="store_true",
+                         help="print cache statistics (default action)")
+    p_cache.add_argument("--clear", action="store_true",
+                         help="delete every entry")
+    p_cache.add_argument("--prune", action="store_true",
+                         help="evict least-recently-used entries past the "
+                              "caps")
+    p_cache.add_argument("--max-entries", type=int,
+                         help="entry-count cap for --prune")
+    p_cache.add_argument("--max-bytes", type=int,
+                         help="byte-size cap for --prune")
+    p_cache.set_defaults(func=_cmd_cache)
     return parser
 
 

@@ -1,0 +1,297 @@
+"""Remote client for the verification daemon (:mod:`repro.server`).
+
+:class:`ServerClient` is a thin stdlib-only (``urllib``) HTTP client with
+retry/backoff: transient failures — connection errors, 5xx responses and
+``429`` rate-limit/backpressure rejections (honouring ``Retry-After``) —
+are retried with exponential backoff before surfacing as
+:class:`ServerError`.  :meth:`ServerClient.events` iterates a job's
+Server-Sent-Events progress stream as live
+:class:`~repro.service.events.Event` dicts.
+
+:class:`RemoteScheduler` adapts the client to the
+:class:`~repro.service.scheduler.BatchScheduler` interface (``run(jobs) ->
+[JobResult]``), so anything built on the local scheduler — the fuzz
+harness, ``eval/table1.py``, ``repro-sec batch`` — can target a remote
+daemon unchanged via ``--server URL``.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from .errors import ReproError
+from .netlist import bench
+from .server.httpd import parse_sse_stream
+from .service.events import (
+    EventBus,
+    JOB_CACHED,
+    JOB_FINISHED,
+    JOB_QUEUED,
+)
+from .service.job import JobResult
+
+#: HTTP statuses worth retrying: backpressure and transient server trouble.
+_RETRYABLE_STATUSES = (429, 500, 502, 503, 504)
+
+
+class ServerError(ReproError):
+    """A request that failed after exhausting retries."""
+
+    def __init__(self, message, status=None):
+        super(ServerError, self).__init__(message)
+        self.status = status
+
+
+def job_payload(spec, impl, name=None, method="van_eijk", options=None,
+                match_inputs="name", match_outputs="order", tags=None):
+    """Serialize a circuit pair into a daemon submission payload."""
+    return {
+        "name": name or spec.name or "job",
+        "spec_bench": bench.dumps(spec),
+        "impl_bench": bench.dumps(impl),
+        "method": method,
+        "options": dict(options or {}),
+        "match_inputs": match_inputs,
+        "match_outputs": match_outputs,
+        "tags": dict(tags or {}),
+    }
+
+
+class ServerClient:
+    """One daemon endpoint; every method retries transient failures."""
+
+    def __init__(self, base_url, timeout=30.0, retries=4, backoff=0.25,
+                 backoff_cap=4.0, sleep=time.sleep):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.sleep = sleep
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(self, method, path, body=None, stream=False, timeout=None):
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        last_error = None
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(url, data=data,
+                                             headers=dict(headers),
+                                             method=method)
+            try:
+                response = urllib.request.urlopen(
+                    request, timeout=self.timeout if timeout is None
+                    else timeout)
+                if stream:
+                    return response
+                with response:
+                    payload = response.read()
+                return json.loads(payload.decode("utf-8")) if payload else {}
+            except urllib.error.HTTPError as exc:
+                detail = self._error_detail(exc)
+                if exc.code not in _RETRYABLE_STATUSES:
+                    raise ServerError("{} {} -> {}: {}".format(
+                        method, path, exc.code, detail), status=exc.code)
+                last_error = ServerError("{} {} -> {}: {}".format(
+                    method, path, exc.code, detail), status=exc.code)
+                delay = self._delay(attempt, exc.headers.get("Retry-After"))
+            except (urllib.error.URLError, ConnectionError, OSError,
+                    ValueError) as exc:
+                last_error = ServerError("{} {} failed: {}".format(
+                    method, path, exc))
+                delay = self._delay(attempt, None)
+            if attempt < self.retries:
+                self.sleep(delay)
+        raise last_error
+
+    @staticmethod
+    def _error_detail(exc):
+        try:
+            payload = exc.read().decode("utf-8")
+            return json.loads(payload).get("error", payload)
+        except Exception:
+            return exc.reason
+
+    def _delay(self, attempt, retry_after):
+        delay = min(self.backoff_cap, self.backoff * (2 ** attempt))
+        if retry_after:
+            try:
+                delay = max(delay, float(retry_after))
+            except ValueError:
+                pass
+        return delay
+
+    # -- API ----------------------------------------------------------------
+
+    def healthz(self):
+        return self._request("GET", "/v1/healthz")
+
+    def stats(self):
+        return self._request("GET", "/v1/stats")
+
+    def submit_payload(self, payload):
+        """Submit one raw payload dict; returns the job id."""
+        return self._request("POST", "/v1/jobs", body=payload)["id"]
+
+    def submit_payloads(self, payloads):
+        """Submit many payloads in one request; returns the id list."""
+        return self._request("POST", "/v1/jobs",
+                             body={"jobs": list(payloads)})["ids"]
+
+    def submit(self, spec, impl, **kwargs):
+        """Submit a circuit pair (see :func:`job_payload`); returns the id."""
+        return self.submit_payload(job_payload(spec, impl, **kwargs))
+
+    def submit_suite(self, row, name=None, method="van_eijk", options=None,
+                     optimize_level=2):
+        """Submit a named Table-1 suite row built server-side."""
+        return self.submit_payload({
+            "name": name or row, "suite": row, "method": method,
+            "options": dict(options or {}),
+            "optimize_level": optimize_level,
+        })
+
+    def job(self, job_id):
+        return self._request("GET", "/v1/jobs/{}".format(job_id))
+
+    def jobs(self):
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def cancel(self, job_id):
+        return self._request("DELETE", "/v1/jobs/{}".format(job_id))
+
+    def wait(self, job_id, poll=0.2, timeout=None):
+        """Poll until the job is terminal; returns the final record dict."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in ("done", "cancelled", "error"):
+                return record
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServerError("timed out waiting for job {}".format(
+                    job_id))
+            self.sleep(poll)
+
+    def result(self, job_id, poll=0.2, timeout=None):
+        """Wait for the job and return its :class:`JobResult`."""
+        record = self.wait(job_id, poll=poll, timeout=timeout)
+        return remote_job_result(record)
+
+    def events(self, job_id, timeout=None):
+        """Yield the job's event dicts from its SSE stream, live.
+
+        Replays the job's history first, then streams until the terminal
+        ``done`` event — whose payload is the final job record and which is
+        yielded last as ``{"type": "done", "record": ...}``.
+        """
+        response = self._request(
+            "GET", "/v1/jobs/{}/events".format(job_id), stream=True,
+            timeout=timeout)
+        with response:
+            lines = (raw.decode("utf-8", "replace") for raw in response)
+            for event_type, data in parse_sse_stream(lines):
+                payload = json.loads(data)
+                if event_type == "done":
+                    yield {"type": "done", "record": payload}
+                    return
+                yield payload
+
+
+def remote_job_result(record):
+    """Map a terminal daemon job record onto a local :class:`JobResult`."""
+    data = record.get("result")
+    if data is not None:
+        result = JobResult.from_dict(data)
+    else:
+        result = JobResult(record.get("name"), None,
+                           error=record.get("error"))
+    result.name = record.get("name") or result.name
+    result.cached = bool(record.get("cached", result.cached))
+    if record.get("error") and not result.error:
+        result.error = record["error"]
+    return result
+
+
+class RemoteScheduler:
+    """Drop-in ``run(jobs)`` that routes a batch through a daemon.
+
+    Accepts the same :class:`~repro.service.job.JobSpec` lists as
+    :class:`~repro.service.scheduler.BatchScheduler` and returns
+    :class:`JobResult`\\ s in submission order.  Per-job lifecycle events
+    (queued / cached / finished) are emitted on ``bus`` so the live
+    renderer works unchanged; engine-internal progress stays on the daemon
+    (use ``repro-sec remote watch`` for it).
+    """
+
+    def __init__(self, client, bus=None, poll=0.2, timeout=None,
+                 chunk_size=8):
+        if isinstance(client, str):
+            client = ServerClient(client)
+        self.client = client
+        self.bus = bus or EventBus()
+        self.poll = poll
+        self.timeout = timeout
+        self.chunk_size = chunk_size
+
+    def _submit_all(self, payloads, deadline):
+        """Submit in chunks, waiting out queue-full backpressure (429)."""
+        ids = []
+        for start in range(0, len(payloads), self.chunk_size):
+            chunk = payloads[start:start + self.chunk_size]
+            while True:
+                try:
+                    ids.extend(self.client.submit_payloads(chunk))
+                    break
+                except ServerError as exc:
+                    if exc.status != 429:
+                        raise
+                    if (deadline is not None
+                            and time.monotonic() > deadline):
+                        raise
+                    self.client.sleep(max(self.poll, 1.0))
+        return ids
+
+    def run(self, jobs):
+        if not jobs:
+            return []
+        deadline = (None if self.timeout is None
+                    else time.monotonic() + self.timeout)
+        payloads = []
+        for index, job in enumerate(jobs):
+            payload = job_payload(
+                job.spec, job.impl, name=job.name, method=job.method,
+                options=job.options, match_inputs=job.match_inputs,
+                match_outputs=job.match_outputs, tags=job.tags)
+            payloads.append(payload)
+            self.bus.emit(JOB_QUEUED, job=job.name, index=index,
+                          method=job.method, remote=True)
+        ids = self._submit_all(payloads, deadline)
+        results = [None] * len(jobs)
+        pending = {job_id: index for index, job_id in enumerate(ids)}
+        while pending:
+            for job_id in list(pending):
+                record = self.client.job(job_id)
+                if record["state"] not in ("done", "cancelled", "error"):
+                    continue
+                index = pending.pop(job_id)
+                job_result = remote_job_result(record)
+                job_result.name = jobs[index].name
+                results[index] = job_result
+                event = JOB_CACHED if job_result.cached else JOB_FINISHED
+                self.bus.emit(event, job=jobs[index].name, index=index,
+                              verdict=job_result.verdict,
+                              method=job_result.method or jobs[index].method,
+                              error=job_result.error, remote=True)
+            if pending:
+                if deadline is not None and time.monotonic() > deadline:
+                    raise ServerError(
+                        "timed out waiting for {} remote jobs".format(
+                            len(pending)))
+                self.client.sleep(self.poll)
+        return results

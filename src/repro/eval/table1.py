@@ -85,15 +85,18 @@ def table1_jobs(row, optimize_level=2, traversal_time_limit=60.0,
     return jobs, spec.num_registers, impl.num_registers
 
 
-def run_table(rows, workers=0, cache=None, bus=None, **row_kwargs):
+def run_table(rows, workers=0, cache=None, bus=None, scheduler=None,
+              **row_kwargs):
     """Run a list of suite rows; returns the result list in order.
 
     ``workers`` parallelizes across rows *and* engines (each row submits
     one proposed-method job and one traversal job to the scheduler);
     ``cache``/``bus`` are forwarded to :class:`BatchScheduler`, so repeated
     table reproductions hit the result cache and stream progress events.
-    Remaining keyword arguments are per-row options (see
-    :func:`table1_jobs`).
+    ``scheduler`` substitutes any object with the same ``run(jobs)``
+    surface — e.g. a :class:`repro.client.RemoteScheduler`, which farms the
+    whole table out to a ``repro-sec serve`` daemon.  Remaining keyword
+    arguments are per-row options (see :func:`table1_jobs`).
     """
     jobs = []
     layout = []  # (row, regs_orig, regs_opt, proposed_idx, traversal_idx)
@@ -103,7 +106,8 @@ def run_table(rows, workers=0, cache=None, bus=None, **row_kwargs):
         traversal_idx = len(jobs) + 1 if len(row_jobs) > 1 else None
         jobs.extend(row_jobs)
         layout.append((row, regs_orig, regs_opt, proposed_idx, traversal_idx))
-    scheduler = BatchScheduler(workers=workers, cache=cache, bus=bus)
+    if scheduler is None:
+        scheduler = BatchScheduler(workers=workers, cache=cache, bus=bus)
     outcomes = scheduler.run(jobs)
     return [
         Table1Result(

@@ -158,7 +158,8 @@ class DifferentialFuzzer:
     def __init__(self, seed=0, engines=None, workers=0, corpus_dir=None,
                  bus=None, cache=None, job_time_limit=None, retries=1,
                  shrink_evaluations=48, result_hook=None,
-                 min_regs=4, max_regs=9, fault_probability=0.45):
+                 min_regs=4, max_regs=9, fault_probability=0.45,
+                 scheduler=None):
         self.seed = seed
         self.engines = _normalize_engines(engines)
         self.workers = workers
@@ -172,7 +173,12 @@ class DifferentialFuzzer:
         self.min_regs = min_regs
         self.max_regs = max_regs
         self.fault_probability = fault_probability
-        self._scheduler = BatchScheduler(
+        # ``scheduler`` overrides the battery's executor with anything
+        # exposing BatchScheduler's ``run(jobs)`` — e.g. a
+        # :class:`repro.client.RemoteScheduler` targeting a daemon
+        # (``repro-sec fuzz --server URL``).  Shrinking stays local either
+        # way: delta-debugging probes are latency-bound, not compute-bound.
+        self._scheduler = scheduler or BatchScheduler(
             workers=workers, cache=cache, bus=self.bus, retries=retries,
             job_time_limit=job_time_limit)
         # Shrink re-runs are always inline and quiet: forking a pool per

@@ -1,0 +1,42 @@
+"""Networked verification daemon: asyncio HTTP job API + SSE streaming.
+
+``repro-sec serve`` boots a :class:`VerifyServer` that accepts verification
+jobs over HTTP, runs them on the service layer's worker processes, persists
+the queue across restarts and streams each job's progress events live over
+Server-Sent Events.  :mod:`repro.client` is the matching remote client.
+
+See ``docs/SERVER.md`` for the API reference and lifecycle semantics.
+"""
+
+from .app import VerifyServer, build_jobspec, serve, validate_payload
+from .httpd import HttpError, parse_sse_stream
+from .ratelimit import RateLimiter, TokenBucket
+from .store import (
+    CANCELLED,
+    DONE,
+    ERROR,
+    JobRecord,
+    JobStore,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+)
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "ERROR",
+    "HttpError",
+    "JobRecord",
+    "JobStore",
+    "QUEUED",
+    "RUNNING",
+    "RateLimiter",
+    "TERMINAL_STATES",
+    "TokenBucket",
+    "VerifyServer",
+    "build_jobspec",
+    "parse_sse_stream",
+    "serve",
+    "validate_payload",
+]

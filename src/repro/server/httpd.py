@@ -1,0 +1,229 @@
+"""Minimal stdlib-only HTTP/1.1 plumbing for the asyncio daemon.
+
+Just enough of the protocol for a JSON API plus Server-Sent Events:
+request parsing off an :class:`asyncio.StreamReader` (with a read
+timeout and body-size cap, so a stalled or hostile client cannot pin a
+connection), response serialization, and an SSE writer with heartbeats
+and a write timeout (a stuck consumer is disconnected instead of
+wedging the daemon's event fan-out).
+
+Connections are ``Connection: close`` — one request per connection keeps
+the state machine trivial and matches the stdlib ``urllib`` client the
+:mod:`repro.client` module uses.  SSE responses stay open until the job
+ends or the client goes away.
+"""
+
+import asyncio
+import json
+
+#: Reason phrases for the handful of statuses the API uses.
+_REASONS = {
+    200: "OK", 202: "Accepted", 204: "No Content",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    408: "Request Timeout", 409: "Conflict", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    501: "Not Implemented", 503: "Service Unavailable",
+}
+
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_COUNT = 64
+
+
+class HttpError(Exception):
+    """Maps to an HTTP error response; ``headers`` ride along (Retry-After)."""
+
+    def __init__(self, status, message, headers=None):
+        super(HttpError, self).__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = dict(headers or {})
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    def __init__(self, method, target, headers, body=b"", peer=None):
+        self.method = method
+        self.path, _, query = target.partition("?")
+        self.query = _parse_query(query)
+        self.headers = headers  # lower-cased names
+        self.body = body
+        self.peer = peer
+
+    def json(self):
+        if not self.body:
+            raise HttpError(400, "request body required")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise HttpError(400, "request body is not valid JSON")
+
+    def __repr__(self):
+        return "Request({} {})".format(self.method, self.path)
+
+
+def _parse_query(query):
+    params = {}
+    for part in query.split("&"):
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        params[key] = value
+    return params
+
+
+async def read_request(reader, peer=None, timeout=10.0,
+                       max_body=8 * 1024 * 1024):
+    """Parse one request; ``None`` on clean EOF before a request line.
+
+    Raises :class:`HttpError` on malformed input, oversized bodies or a
+    client that stalls past ``timeout``.
+    """
+    try:
+        line = await asyncio.wait_for(reader.readline(), timeout)
+    except asyncio.TimeoutError:
+        raise HttpError(408, "timed out waiting for request line")
+    if not line:
+        return None
+    if len(line) > MAX_REQUEST_LINE:
+        raise HttpError(400, "request line too long")
+    try:
+        method, target, version = line.decode("latin-1").split()
+    except ValueError:
+        raise HttpError(400, "malformed request line")
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, "unsupported HTTP version")
+
+    headers = {}
+    while True:
+        try:
+            line = await asyncio.wait_for(reader.readline(), timeout)
+        except asyncio.TimeoutError:
+            raise HttpError(408, "timed out reading headers")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if len(headers) >= MAX_HEADER_COUNT:
+            raise HttpError(400, "too many headers")
+        try:
+            name, value = line.decode("latin-1").split(":", 1)
+        except ValueError:
+            raise HttpError(400, "malformed header line")
+        headers[name.strip().lower()] = value.strip()
+
+    if headers.get("transfer-encoding"):
+        raise HttpError(501, "chunked request bodies are not supported")
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            length = int(length)
+        except ValueError:
+            raise HttpError(400, "bad Content-Length")
+        if length > max_body:
+            raise HttpError(413, "request body exceeds {} bytes".format(
+                max_body))
+        try:
+            body = await asyncio.wait_for(reader.readexactly(length), timeout)
+        except asyncio.TimeoutError:
+            raise HttpError(408, "timed out reading request body")
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "request body shorter than Content-Length")
+    return Request(method.upper(), target, headers, body, peer=peer)
+
+
+def response_bytes(status, body=b"", content_type="application/json",
+                   headers=None):
+    """Serialize a full ``Connection: close`` response."""
+    if isinstance(body, str):
+        body = body.encode("utf-8")
+    lines = [
+        "HTTP/1.1 {} {}".format(status, _REASONS.get(status, "Unknown")),
+        "Content-Type: {}".format(content_type),
+        "Content-Length: {}".format(len(body)),
+        "Connection: close",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append("{}: {}".format(name, value))
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response(status, payload, headers=None):
+    return response_bytes(status, json.dumps(payload, sort_keys=True),
+                          headers=headers)
+
+
+def error_response(exc):
+    return json_response(exc.status, {"error": exc.message},
+                         headers=exc.headers)
+
+
+class SseWriter:
+    """Server-Sent Events framing over an asyncio writer.
+
+    Every write is bounded by ``write_timeout`` (drain included): a client
+    that stops reading gets disconnected by :class:`asyncio.TimeoutError`
+    propagating to the connection handler, instead of the daemon's event
+    pump backing up behind one dead socket.
+    """
+
+    def __init__(self, writer, write_timeout=10.0):
+        self.writer = writer
+        self.write_timeout = write_timeout
+
+    async def start(self, headers=None):
+        lines = [
+            "HTTP/1.1 200 OK",
+            "Content-Type: text/event-stream",
+            "Cache-Control: no-cache",
+            "Connection: close",
+        ]
+        for name, value in (headers or {}).items():
+            lines.append("{}: {}".format(name, value))
+        await self._write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+
+    async def event(self, payload, event_type=None):
+        """Send one event; ``payload`` is JSON-serialized into ``data:``."""
+        chunks = []
+        if event_type:
+            chunks.append("event: {}\n".format(event_type))
+        chunks.append("data: {}\n\n".format(
+            json.dumps(payload, sort_keys=True)))
+        await self._write("".join(chunks).encode("utf-8"))
+
+    async def comment(self, text="keep-alive"):
+        """Heartbeat comment line; also how client liveness is probed."""
+        await self._write(": {}\n\n".format(text).encode("utf-8"))
+
+    async def _write(self, data):
+        self.writer.write(data)
+        await asyncio.wait_for(self.writer.drain(), self.write_timeout)
+
+
+def parse_sse_stream(lines):
+    """Yield ``(event_type, data_str)`` from an iterable of SSE lines.
+
+    Shared with the client: works on any iterator of ``str`` lines (a
+    ``urllib`` response wrapped in a decoder, a test fixture list, ...).
+    Comment lines (heartbeats) are skipped.
+    """
+    event_type = None
+    data_parts = []
+    for raw in lines:
+        line = raw.rstrip("\r\n")
+        if not line:
+            if data_parts:
+                yield event_type, "\n".join(data_parts)
+            event_type = None
+            data_parts = []
+            continue
+        if line.startswith(":"):
+            continue
+        name, _, value = line.partition(":")
+        if value.startswith(" "):
+            value = value[1:]
+        if name == "event":
+            event_type = value
+        elif name == "data":
+            data_parts.append(value)
+    if data_parts:
+        yield event_type, "\n".join(data_parts)

@@ -1,0 +1,75 @@
+"""Per-client token-bucket rate limiting for the daemon.
+
+One bucket per client key (the daemon keys by peer IP): ``burst`` tokens
+capacity, refilled at ``rate`` tokens/second.  A request costs one token;
+an empty bucket yields the number of seconds until a token is available —
+the daemon turns that into ``429`` + ``Retry-After``.
+
+Buckets for idle clients are garbage-collected so a daemon scanning many
+short-lived clients does not accumulate state without bound.
+"""
+
+import time
+
+
+class TokenBucket:
+    """Classic token bucket with lazy refill."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate, burst, now):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated = now
+
+    def take(self, now):
+        """Take one token; returns 0.0 on success, else seconds to wait."""
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        if self.rate <= 0:
+            return float("inf")
+        return (1.0 - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """Maps client keys to :class:`TokenBucket`\\ s.
+
+    ``rate=None`` disables limiting entirely.  ``clock`` is injectable for
+    deterministic tests.
+    """
+
+    def __init__(self, rate=20.0, burst=40, clock=time.monotonic,
+                 max_idle=300.0):
+        self.rate = rate
+        self.burst = burst
+        self.clock = clock
+        self.max_idle = max_idle
+        self.rejected = 0
+        self._buckets = {}
+
+    def check(self, key):
+        """0.0 when ``key`` may proceed, else the suggested retry delay."""
+        if self.rate is None:
+            return 0.0
+        now = self.clock()
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = TokenBucket(
+                self.rate, self.burst, now)
+        wait = bucket.take(now)
+        if wait > 0.0:
+            self.rejected += 1
+        if len(self._buckets) > 1024:
+            self._gc(now)
+        return wait
+
+    def _gc(self, now):
+        stale = [key for key, bucket in self._buckets.items()
+                 if now - bucket.updated > self.max_idle]
+        for key in stale:
+            del self._buckets[key]

@@ -21,11 +21,13 @@ from .events import Event, EventBus, JsonlEventWriter, read_event_log
 from .job import JobResult, JobSpec, aborted_result
 from .portfolio import DEFAULT_PORTFOLIO_METHODS, run_portfolio
 from .render import LiveRenderer
-from .scheduler import BatchScheduler
+from .scheduler import BatchScheduler, PoolOutcome, WorkerPool
 from .worker import register_method, run_job, unregister_method
 
 __all__ = [
     "BatchScheduler",
+    "PoolOutcome",
+    "WorkerPool",
     "DEFAULT_PORTFOLIO_METHODS",
     "Event",
     "EventBus",

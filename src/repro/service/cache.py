@@ -6,6 +6,11 @@ suite runs and ablation sweeps skip every already-solved job.  One JSON
 file per entry under a two-character fan-out directory; writes go through a
 temp file + ``os.replace`` so concurrent writers (parallel schedulers
 sharing a cache directory) never expose half-written entries.
+
+The cache can be capped (``max_entries``/``max_bytes``): :meth:`put`
+prunes least-recently-used entries past either limit, where "used" is the
+file mtime — refreshed on every :meth:`get` hit — so long fuzz/soak runs
+no longer grow the directory without bound.
 """
 
 import json
@@ -19,11 +24,15 @@ from .job import CACHE_FORMAT_VERSION
 class ResultCache:
     """Maps cache keys to :class:`SecResult` records on disk."""
 
-    def __init__(self, root, cache_inconclusive=True):
+    def __init__(self, root, cache_inconclusive=True, max_entries=None,
+                 max_bytes=None):
         self.root = str(root)
         self.cache_inconclusive = cache_inconclusive
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         os.makedirs(self.root, exist_ok=True)
 
     def _path(self, key):
@@ -31,8 +40,9 @@ class ResultCache:
 
     def get(self, key):
         """The cached :class:`SecResult` for ``key``, or ``None``."""
+        path = self._path(key)
         try:
-            with open(self._path(key)) as fh:
+            with open(path) as fh:
                 entry = json.load(fh)
         except (OSError, ValueError):
             self.misses += 1
@@ -40,6 +50,10 @@ class ResultCache:
         if entry.get("version") != CACHE_FORMAT_VERSION:
             self.misses += 1
             return None
+        try:
+            os.utime(path, None)  # refresh LRU recency
+        except OSError:
+            pass
         self.hits += 1
         return SecResult.from_dict(entry["result"])
 
@@ -66,7 +80,60 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if self.max_entries is not None or self.max_bytes is not None:
+            self.prune()
         return True
+
+    # -- size management ----------------------------------------------------
+
+    def _entries(self):
+        """(mtime, size, path) for every entry file, oldest first."""
+        entries = []
+        for dirpath, _, files in os.walk(self.root):
+            for name in files:
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()
+        return entries
+
+    def total_bytes(self):
+        """Disk footprint of all entries (metadata files excluded)."""
+        return sum(size for _, size, _ in self._entries())
+
+    def prune(self, max_entries=None, max_bytes=None):
+        """Evict least-recently-used entries past the caps; returns count.
+
+        Caps default to the instance's ``max_entries``/``max_bytes``; both
+        ``None`` means nothing to do.
+        """
+        max_entries = self.max_entries if max_entries is None else max_entries
+        max_bytes = self.max_bytes if max_bytes is None else max_bytes
+        if max_entries is None and max_bytes is None:
+            return 0
+        entries = self._entries()
+        count = len(entries)
+        total = sum(size for _, size, _ in entries)
+        evicted = 0
+        for _, size, path in entries:
+            over_count = max_entries is not None and count > max_entries
+            over_bytes = max_bytes is not None and total > max_bytes
+            if not over_count and not over_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            count -= 1
+            total -= size
+            evicted += 1
+        self.evictions += evicted
+        return evicted
 
     def __contains__(self, key):
         return os.path.exists(self._path(key))
@@ -89,4 +156,7 @@ class ResultCache:
 
     def stats(self):
         return {"hits": self.hits, "misses": self.misses,
-                "entries": len(self)}
+                "entries": len(self), "bytes": self.total_bytes(),
+                "evictions": self.evictions,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes}

@@ -47,6 +47,15 @@ FUZZ_DISAGREEMENT = "fuzz_disagreement"
 FUZZ_SHRUNK = "fuzz_shrunk"
 FUZZ_CORPUS_SAVED = "fuzz_corpus_saved"
 FUZZ_FINISHED = "fuzz_finished"
+# Events emitted by the network daemon (repro.server): daemon lifecycle,
+# job intake over HTTP, cancellation, queue-resume after a restart, and
+# rate-limit/backpressure rejections.
+SERVER_STARTED = "server_started"
+SERVER_STOPPED = "server_stopped"
+JOB_SUBMITTED = "job_submitted"
+JOB_CANCELLED = "job_cancelled"
+JOB_REQUEUED = "job_requeued"
+CLIENT_THROTTLED = "client_throttled"
 
 
 class Event:

@@ -92,6 +92,28 @@ class LiveRenderer:
             return "portfolio: cancelled {}{}".format(
                 data.get("method"),
                 " (killed)" if data.get("escalated") else "")
+        if kind == ev.SERVER_STARTED:
+            return "server: listening on {}:{} ({} workers, pid {})".format(
+                data.get("host"), data.get("port"), data.get("workers"),
+                data.get("pid"))
+        if kind == ev.SERVER_STOPPED:
+            return "server: stopped after {}".format(
+                _fmt_seconds(data.get("uptime_seconds")))
+        if kind == ev.JOB_SUBMITTED:
+            return "{:<12} submitted as {} ({})".format(
+                data.get("name", "?"), event.job, data.get("method", ""))
+        if kind == ev.JOB_CANCELLED:
+            self.done_jobs += 1
+            return "{}{:<12} cancelled".format(
+                self._progress_prefix(), data.get("name") or event.job)
+        if kind == ev.JOB_REQUEUED:
+            return "{:<12} re-queued (attempt {}): {}".format(
+                data.get("name") or event.job, data.get("requeues"),
+                data.get("reason"))
+        if kind == ev.CLIENT_THROTTLED:
+            return "server: throttled {} on {}{}".format(
+                data.get("client"), data.get("path"),
+                " ({})".format(data["reason"]) if data.get("reason") else "")
         if self.verbose and kind == ev.JOB_PROGRESS:
             payload = " ".join(
                 "{}={}".format(k, v) for k, v in sorted(data.items())

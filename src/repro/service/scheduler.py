@@ -21,6 +21,8 @@ concurrently across worker processes:
 Results come back in submission order, one :class:`JobResult` per job.
 """
 
+import signal
+import threading
 import time
 
 from .cache import ResultCache  # noqa: F401  (re-exported convenience)
@@ -63,11 +65,31 @@ class BatchScheduler:
         self.total_time_limit = total_time_limit
         self.node_limit = node_limit
         self.grace = grace
+        #: Set to the signal name ("SIGINT"/"SIGTERM") when a batch was
+        #: stopped by :meth:`run`'s graceful signal handlers.
+        self.interrupted = None
 
     # -- public API ---------------------------------------------------------
 
     def run(self, jobs):
-        """Execute ``jobs``; returns a :class:`JobResult` list in order."""
+        """Execute ``jobs``; returns a :class:`JobResult` list in order.
+
+        While the batch runs (and only from the main thread), SIGINT and
+        SIGTERM are intercepted for a graceful shutdown: in-flight workers
+        are cancelled (SIGTERM → cooperative cancel → SIGKILL after the
+        grace period), unstarted jobs are marked aborted, the event stream
+        is flushed and the partial results are returned — instead of the
+        interpreter dying mid-batch and leaking orphaned workers.
+        ``self.interrupted`` records the signal name afterwards.
+        """
+        self.interrupted = None
+        previous_handlers = self._install_signal_handlers()
+        try:
+            return self._run(jobs)
+        finally:
+            self._restore_signal_handlers(previous_handlers)
+
+    def _run(self, jobs):
         jobs = [self._budgeted(job) for job in jobs]
         start = time.monotonic()
         self.bus.emit(BATCH_STARTED, jobs=len(jobs), workers=self.workers)
@@ -98,8 +120,52 @@ class BatchScheduler:
             proved=sum(1 for r in results if r.verdict is True),
             refuted=sum(1 for r in results if r.verdict is False),
             undecided=sum(1 for r in results if r.verdict is None),
+            interrupted=self.interrupted,
         )
         return results
+
+    # -- graceful signal handling -------------------------------------------
+
+    def _install_signal_handlers(self):
+        """Route SIGINT/SIGTERM into the graceful-stop flag.
+
+        Only possible from the main thread (the daemon drives its own
+        :class:`WorkerPool` and handles signals itself); elsewhere this is
+        a no-op returning an empty mapping.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return {}
+        previous = {}
+        for signum, name in ((signal.SIGINT, "SIGINT"),
+                             (signal.SIGTERM, "SIGTERM")):
+            def handler(received, frame, name=name):
+                # A second signal falls through to the default behaviour
+                # (KeyboardInterrupt / process death) so a wedged batch can
+                # still be stopped forcibly.
+                if self.interrupted is None:
+                    self.interrupted = name
+                elif received == signal.SIGINT:
+                    raise KeyboardInterrupt
+            try:
+                previous[signum] = signal.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                pass
+        return previous
+
+    def _restore_signal_handlers(self, previous):
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+    def _stop_reason(self, deadline):
+        """The abort reason when the batch should stop, else ``None``."""
+        if self.interrupted is not None:
+            return "interrupted ({})".format(self.interrupted)
+        if deadline is not None and time.monotonic() > deadline:
+            return "batch time budget exhausted"
+        return None
 
     # -- shared helpers -----------------------------------------------------
 
@@ -177,8 +243,9 @@ class BatchScheduler:
         deadline = self._deadline(start)
         while pending:
             attempt = pending.pop(0)
-            if deadline is not None and time.monotonic() > deadline:
-                self._abort_remaining([attempt] + pending, results)
+            reason = self._stop_reason(deadline)
+            if reason is not None:
+                self._abort_remaining([attempt] + pending, results, reason)
                 return
             self.bus.emit(JOB_STARTED, job=attempt.job.name,
                           index=attempt.index, method=attempt.job.method,
@@ -203,9 +270,10 @@ class BatchScheduler:
         deadline = self._deadline(start)
         try:
             while pending or running:
-                if deadline is not None and time.monotonic() > deadline:
-                    self._cancel_running(running, results)
-                    self._abort_remaining(pending, results)
+                reason = self._stop_reason(deadline)
+                if reason is not None:
+                    self._cancel_running(running, results, reason)
+                    self._abort_remaining(pending, results, reason)
                     return
                 while pending and len(running) < self.workers:
                     attempt = pending.pop(0)
@@ -301,34 +369,34 @@ class BatchScheduler:
                 run.timed_out = True
                 run.proc.terminate()
 
-    def _cancel_running(self, running, results):
+    def _cancel_running(self, running, results,
+                        reason="batch time budget exhausted"):
         terminate_gracefully([r.proc for r in running.values()],
                              grace=self.grace)
         for run in running.values():
             attempt = run.attempt
-            result = aborted_result(attempt.job.method,
-                                    "batch time budget exhausted")
+            result = aborted_result(attempt.job.method, reason)
             results[attempt.index] = JobResult(
                 attempt.job.name, result, attempts=attempt.number,
                 method=attempt.job.method)
             self.bus.emit(JOB_FINISHED, job=attempt.job.name,
                           index=attempt.index, verdict=None,
                           method=attempt.job.method,
-                          error="batch time budget exhausted",
+                          error=reason,
                           attempts=attempt.number)
         running.clear()
 
-    def _abort_remaining(self, pending, results):
+    def _abort_remaining(self, pending, results,
+                         reason="batch time budget exhausted"):
         for attempt in pending:
-            result = aborted_result(attempt.job.method,
-                                    "batch time budget exhausted")
+            result = aborted_result(attempt.job.method, reason)
             results[attempt.index] = JobResult(
                 attempt.job.name, result, attempts=attempt.number - 1,
                 method=attempt.job.method)
             self.bus.emit(JOB_FINISHED, job=attempt.job.name,
                           index=attempt.index, verdict=None,
                           method=attempt.job.method,
-                          error="batch time budget exhausted",
+                          error=reason,
                           attempts=attempt.number - 1)
         del pending[:]
 
@@ -365,4 +433,239 @@ class _Running:
         self.started = time.monotonic()
         self.outcome = None
         self.timed_out = False
+        self.grace_polls = 0
+
+
+class PoolOutcome:
+    """One finished :class:`WorkerPool` job.
+
+    ``result`` is the worker's :class:`JobResult` (an aborted placeholder
+    for crashes and hard kills); ``error`` carries the crash description;
+    ``cancelled`` is True when the job ended because :meth:`WorkerPool.cancel`
+    was called on it.
+    """
+
+    __slots__ = ("token", "job", "result", "error", "cancelled")
+
+    def __init__(self, token, job, result, error=None, cancelled=False):
+        self.token = token
+        self.job = job
+        self.result = result
+        self.error = error
+        self.cancelled = cancelled
+
+
+class WorkerPool:
+    """Non-blocking submit/poll/cancel surface over the worker processes.
+
+    Where :class:`BatchScheduler` owns a blocking loop over a fixed job
+    list, a long-lived host (the :mod:`repro.server` asyncio daemon) needs
+    to interleave job execution with other work.  ``WorkerPool`` exposes
+    the same worker plumbing incrementally — every method returns
+    immediately:
+
+    * :meth:`submit` forks a worker for one job (caller checks
+      :meth:`has_capacity` first, queueing policy lives with the caller);
+    * :meth:`poll` drains worker events onto the bus, escalates pending
+      cancellations past their grace period and returns the
+      :class:`PoolOutcome` list of jobs that finished since the last call;
+    * :meth:`cancel` requests the SIGTERM → cooperative-cancel → SIGKILL
+      path for one running job without blocking on it.
+
+    The pool is *async-safe* in the sense the daemon needs: no method
+    blocks, so a single asyncio task can drive it with awaits in between.
+    It is not thread-safe — drive it from one thread/task only.
+    """
+
+    def __init__(self, workers=2, bus=None, job_time_limit=None, grace=2.0):
+        self.workers = max(1, workers)
+        self.bus = bus or EventBus()
+        self.job_time_limit = job_time_limit
+        self.grace = grace
+        self._ctx = get_context()
+        self._event_queue = self._ctx.Queue()
+        self._result_queue = self._ctx.Queue()
+        self._running = {}  # token -> _PoolRun
+
+    # -- capacity -----------------------------------------------------------
+
+    @property
+    def active(self):
+        """Number of live worker slots (running or being reaped)."""
+        return len(self._running)
+
+    def has_capacity(self):
+        return len(self._running) < self.workers
+
+    def running_tokens(self):
+        return list(self._running)
+
+    # -- submit / cancel ----------------------------------------------------
+
+    def submit(self, token, job):
+        """Fork a worker for ``job``; ``token`` routes its outcome back.
+
+        Raises :class:`RuntimeError` when the pool is full or the token is
+        already in flight — callers gate on :meth:`has_capacity`.
+        """
+        if not self.has_capacity():
+            raise RuntimeError("worker pool is full")
+        if token in self._running:
+            raise RuntimeError("token {!r} already running".format(token))
+        job = self._budgeted(job)
+        proc = start_worker(self._ctx, job, token,
+                            self._event_queue, self._result_queue)
+        self._running[token] = _PoolRun(job, proc)
+        self.bus.emit(JOB_STARTED, job=job.name, method=job.method,
+                      pid=proc.pid)
+        return proc.pid
+
+    def _budgeted(self, job):
+        if (self.job_time_limit is None
+                or job.method not in _TIMED_METHODS
+                or "time_limit" in job.options):
+            return job
+        options = dict(job.options)
+        options["time_limit"] = self.job_time_limit
+        return JobSpec(job.name, job.spec, job.impl, method=job.method,
+                       options=options, match_inputs=job.match_inputs,
+                       match_outputs=job.match_outputs, tags=job.tags)
+
+    def cancel(self, token):
+        """Begin cancelling a running job; returns True if it was running.
+
+        SIGTERM triggers the worker's cooperative-cancellation path; if it
+        has not exited ``grace`` seconds later, :meth:`poll` escalates to
+        SIGKILL.  The job's :class:`PoolOutcome` (flagged ``cancelled``)
+        is delivered by a later :meth:`poll`.
+        """
+        run = self._running.get(token)
+        if run is None:
+            return False
+        if not run.cancelled:
+            run.cancelled = True
+            run.kill_at = time.monotonic() + self.grace
+            if run.proc.is_alive():
+                run.proc.terminate()
+        return True
+
+    # -- poll ---------------------------------------------------------------
+
+    def poll(self):
+        """Advance the pool one step; returns finished :class:`PoolOutcome`\\ s.
+
+        Drains worker progress events onto the bus, applies the
+        ``job_time_limit`` hard-kill guard, escalates overdue cancellations
+        and reaps exited workers.  Never blocks.
+        """
+        for payload in drain_queue(self._event_queue):
+            self.bus.publish(Event.from_dict(payload))
+        for kind, token, payload in drain_queue(self._result_queue):
+            run = self._running.get(token)
+            if run is not None:
+                run.outcome = (kind, payload)
+        self._enforce_limits()
+        return self._reap()
+
+    def _enforce_limits(self):
+        now = time.monotonic()
+        for run in self._running.values():
+            if run.outcome is not None or not run.proc.is_alive():
+                continue
+            if run.cancelled:
+                if run.kill_at is not None and now > run.kill_at:
+                    run.kill_at = None
+                    run.proc.kill()
+            elif (self.job_time_limit is not None and not run.timed_out
+                    and now - run.started > self.job_time_limit + self.grace):
+                run.timed_out = True
+                run.proc.terminate()
+                run.kill_at = now + self.grace
+
+    def _reap(self):
+        finished = []
+        for token in list(self._running):
+            run = self._running[token]
+            if run.outcome is None and run.proc.is_alive():
+                continue
+            if run.outcome is None and run.grace_polls < 3:
+                # Exited without reporting: give the queue a beat to deliver
+                # a result raced with process death.
+                run.proc.join()
+                run.grace_polls += 1
+                continue
+            del self._running[token]
+            run.proc.join()
+            finished.append(self._outcome(token, run))
+        return finished
+
+    def _outcome(self, token, run):
+        job = run.job
+        if run.outcome is not None:
+            kind, payload = run.outcome
+            if kind == "result":
+                result = JobResult.from_dict(payload)
+                result.wall_seconds = time.monotonic() - run.started
+                if run.cancelled:
+                    return PoolOutcome(token, job, result, cancelled=True)
+                return PoolOutcome(token, job, result)
+            error = "engine error:\n" + payload
+        elif run.cancelled:
+            error = "cancelled (killed after grace period)"
+        elif run.timed_out:
+            error = "job time budget exhausted"
+        else:
+            error = "worker crashed (exit code {})".format(run.proc.exitcode)
+        reason = ("cancelled" if run.cancelled
+                  else error.splitlines()[0])
+        result = JobResult(job.name, aborted_result(job.method, reason),
+                           error=error, method=job.method,
+                           wall_seconds=time.monotonic() - run.started)
+        return PoolOutcome(token, job, result, error=error,
+                           cancelled=run.cancelled)
+
+    # -- shutdown -----------------------------------------------------------
+
+    def shutdown(self, grace=None):
+        """Stop every running worker (SIGTERM → SIGKILL); returns outcomes.
+
+        Blocking (up to the grace period) — the one pool method that is,
+        reserved for daemon teardown.  Pending worker events are flushed to
+        the bus before the queues close.
+        """
+        grace = self.grace if grace is None else grace
+        terminate_gracefully([r.proc for r in self._running.values()],
+                             grace=grace)
+        for payload in drain_queue(self._event_queue):
+            self.bus.publish(Event.from_dict(payload))
+        outcomes = []
+        for token in list(self._running):
+            run = self._running.pop(token)
+            run.cancelled = True
+            for kind, tok, payload in drain_queue(self._result_queue):
+                target = self._running.get(tok)
+                if target is not None:
+                    target.outcome = (kind, payload)
+                elif tok == token:
+                    run.outcome = (kind, payload)
+            outcomes.append(self._outcome(token, run))
+        self._event_queue.close()
+        self._result_queue.close()
+        return outcomes
+
+
+class _PoolRun:
+    """Bookkeeping for one live :class:`WorkerPool` worker."""
+
+    __slots__ = ("job", "proc", "started", "outcome", "cancelled",
+                 "timed_out", "kill_at", "grace_polls")
+
+    def __init__(self, job, proc):
+        self.job = job
+        self.proc = proc
+        self.started = time.monotonic()
+        self.outcome = None
+        self.cancelled = False
+        self.timed_out = False
+        self.kill_at = None
         self.grace_polls = 0

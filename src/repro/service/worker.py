@@ -18,6 +18,7 @@ the default ``fork`` start method a registration made in the parent (e.g.
 by a test) is visible to workers.
 """
 
+import os
 import signal
 import threading
 import time
@@ -107,10 +108,28 @@ def worker_entry(job, token, event_queue, result_queue):
     """
     cancelled = threading.Event()
 
+    # An asyncio parent (the verification daemon) has a signal wakeup fd
+    # installed, and fork shares it with us.  If we kept it, our own
+    # SIGTERM delivery would write the signum byte into the parent's
+    # event loop self-pipe — the parent would dispatch its *own* SIGTERM
+    # handler and shut down the whole daemon whenever one job is
+    # cancelled.  Detach before installing any handler of our own.
+    signal.set_wakeup_fd(-1)
+
     def on_sigterm(signum, frame):
         cancelled.set()
 
     signal.signal(signal.SIGTERM, on_sigterm)
+
+
+    # Orphan guard: if the parent dies without tearing us down (SIGKILL'd
+    # scheduler/daemon — its atexit cleanup never runs), we are reparented
+    # and ``getppid`` changes.  Treat that as a cancellation so the engine
+    # unwinds at its next iteration boundary instead of running forever.
+    parent_pid = os.getppid()
+
+    def cancel_check():
+        return cancelled.is_set() or os.getppid() != parent_pid
 
     def emit(event):
         try:
@@ -120,7 +139,7 @@ def worker_entry(job, token, event_queue, result_queue):
 
     started = time.monotonic()
     try:
-        result = run_job(job, emit=emit, cancel_check=cancelled.is_set)
+        result = run_job(job, emit=emit, cancel_check=cancel_check)
         payload = JobResult(
             job.name, result,
             wall_seconds=time.monotonic() - started,

@@ -1,0 +1,215 @@
+"""End-to-end daemon acceptance test: a real ``repro-sec serve`` subprocess.
+
+Covers the full networked lifecycle the subsystem promises: boot on an
+ephemeral port, concurrent submissions over HTTP, live SSE progress
+(including ``refinement_round`` ticks), mid-run cancellation, cache-served
+reruns, SIGKILL crash + restart with the persisted queue resuming, and a
+graceful SIGTERM shutdown that leaves no orphaned worker processes.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.client import ServerClient
+
+from .helpers import spinner_payload
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+
+
+class Daemon:
+    """One ``repro-sec serve`` subprocess in its own process group."""
+
+    def __init__(self, base_dir, tag, workers=2, cache=True):
+        self.store_dir = os.path.join(base_dir, "store")
+        self.cache_dir = os.path.join(base_dir, "cache")
+        self.ready_file = os.path.join(base_dir, "ready-{}.json".format(tag))
+        argv = [
+            sys.executable, "-m", "repro", "serve",
+            "--host", "127.0.0.1", "--port", "0",
+            "--workers", str(workers), "--quiet",
+            "--store-dir", self.store_dir,
+            "--ready-file", self.ready_file,
+        ]
+        if cache:
+            argv += ["--cache-dir", self.cache_dir]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            argv, env=env, cwd=base_dir, start_new_session=True,
+            stdout=subprocess.DEVNULL, stderr=subprocess.PIPE)
+        self.pgid = os.getpgid(self.proc.pid)
+        self.url = self._await_ready()
+
+    def _await_ready(self, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.proc.poll() is not None:
+                raise AssertionError(
+                    "daemon died during startup:\n"
+                    + self.proc.stderr.read().decode())
+            try:
+                with open(self.ready_file) as fh:
+                    return json.load(fh)["url"]
+            except (OSError, ValueError, KeyError):
+                time.sleep(0.05)
+        raise AssertionError("daemon never wrote its ready file")
+
+    def sigkill(self):
+        self.proc.kill()
+        self.proc.wait(timeout=10)
+
+    def sigterm(self, timeout=30):
+        self.proc.send_signal(signal.SIGTERM)
+        return self.proc.wait(timeout=timeout)
+
+    def group_alive(self):
+        """True while any process of the daemon's group still exists."""
+        try:
+            os.killpg(self.pgid, 0)
+            return True
+        except ProcessLookupError:
+            return False
+
+    def await_group_exit(self, timeout=60.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if not self.group_alive():
+                return
+            time.sleep(0.1)
+        raise AssertionError("daemon process group did not exit "
+                             "(orphaned workers?)")
+
+    def cleanup(self):
+        try:
+            os.killpg(self.pgid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            pass
+        if self.proc.poll() is None:
+            self.proc.wait(timeout=10)
+        if self.proc.stderr:
+            self.proc.stderr.close()
+
+
+@pytest.fixture
+def daemon_factory(tmp_path):
+    daemons = []
+
+    def start(tag, **kwargs):
+        daemon = Daemon(str(tmp_path), tag, **kwargs)
+        daemons.append(daemon)
+        return daemon
+
+    try:
+        yield start
+    finally:
+        for daemon in daemons:
+            daemon.cleanup()
+
+
+def wait_state(client, job_id, state, timeout=60.0, poll=0.1, daemon=None):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if daemon is not None and daemon.proc.poll() is not None:
+            raise AssertionError("daemon exited with {} while job {} waited "
+                                 "for {!r}".format(daemon.proc.returncode,
+                                                   job_id, state))
+        record = client.job(job_id)
+        if record["state"] == state:
+            return record
+        time.sleep(poll)
+    raise AssertionError("job {} never reached state {!r} (last: {!r})".format(
+        job_id, state, record["state"]))
+
+
+def test_daemon_lifecycle(daemon_factory):
+    daemon = daemon_factory("first", workers=2)
+    client = ServerClient(daemon.url, timeout=30.0)
+    assert client.healthz()["status"] == "ok"
+
+    # Concurrent submissions: an effectively-endless BMC spinner plus a
+    # real suite verification, racing on the two workers.
+    spinner_id = client.submit_payload(spinner_payload())
+    suite_id = client.submit_suite("s386", method="sat_sweep")
+    wait_state(client, spinner_id, "running", daemon=daemon)
+
+    # Live SSE stream for the suite job: progress ticks, then the verdict.
+    seen = []
+    for event in client.events(suite_id, timeout=120):
+        seen.append(event)
+        if event.get("type") == "done":
+            break
+    types = [e["type"] for e in seen]
+    assert "job_submitted" in types
+    assert any(e["type"] == "job_progress"
+               and e.get("data", {}).get("kind") == "refinement_round"
+               for e in seen), "no refinement_round progress over SSE"
+    assert types[-1] == "done"
+    final = seen[-1]["record"]
+    assert final["state"] == "done"
+    assert final["result"]["result"]["equivalent"] is True
+
+    # The spinner is still chewing through BMC depths: cancel it mid-run.
+    assert client.job(spinner_id)["state"] == "running"
+    client.cancel(spinner_id)
+    record = wait_state(client, spinner_id, "cancelled")
+    assert record["result"]["result"]["equivalent"] is None
+
+    # A repeat submission of the suite job is served from the cache.
+    rerun_id = client.submit_suite("s386", method="sat_sweep")
+    record = wait_state(client, rerun_id, "done")
+    assert record["cached"] is True
+    stats = client.stats()
+    assert stats["cache"]["hits"] >= 1
+    assert stats["jobs"]["done"] == 2
+
+    # Graceful shutdown: exit code 0 and the whole group is gone.
+    assert daemon.sigterm() == 0
+    daemon.await_group_exit()
+
+
+def test_sigkill_restart_resumes_persisted_queue(daemon_factory):
+    daemon = daemon_factory("crash", workers=2, cache=False)
+    client = ServerClient(daemon.url, timeout=30.0)
+
+    # Fill both workers with spinners; a third job waits in the queue.
+    spin_a = client.submit_payload(spinner_payload("spin-a"))
+    spin_b = client.submit_payload(spinner_payload("spin-b"))
+    queued = client.submit_payload(spinner_payload("queued-spin"))
+    wait_state(client, spin_a, "running")
+    wait_state(client, spin_b, "running")
+    assert client.job(queued)["state"] == "queued"
+
+    # SIGKILL: no graceful teardown, no atexit — the crash case.  The
+    # forked workers notice the reparenting (os.getppid changes) at their
+    # next cancel poll and exit on their own; nothing is left behind.
+    daemon.sigkill()
+    daemon.await_group_exit()
+
+    # Restart over the same store: the two running jobs were re-queued
+    # with an incremented requeue count, the queued job is still queued.
+    daemon2 = daemon_factory("restart", workers=2, cache=False)
+    client = ServerClient(daemon2.url, timeout=30.0)
+    for job_id in (spin_a, spin_b):
+        record = client.job(job_id)
+        assert record["requeues"] == 1
+        assert record["state"] in ("queued", "running")
+    assert client.job(queued)["state"] in ("queued", "running")
+
+    # The resumed queue is live: cancel everything and watch it drain.
+    for job_id in (spin_a, spin_b, queued):
+        client.cancel(job_id)
+        wait_state(client, job_id, "cancelled")
+    stats = client.stats()
+    assert stats["jobs"]["cancelled"] == 3
+
+    assert daemon2.sigterm() == 0
+    daemon2.await_group_exit()

@@ -1,0 +1,71 @@
+"""Deterministic token-bucket tests with an injected clock."""
+
+from repro.server import RateLimiter, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def test_burst_then_throttle():
+    limiter = RateLimiter(rate=1.0, burst=3, clock=FakeClock())
+    assert [limiter.check("a") for _ in range(3)] == [0.0, 0.0, 0.0]
+    wait = limiter.check("a")
+    assert wait > 0.0
+    assert limiter.rejected == 1
+
+
+def test_refill_over_time():
+    clock = FakeClock()
+    limiter = RateLimiter(rate=2.0, burst=2, clock=clock)
+    assert limiter.check("a") == 0.0
+    assert limiter.check("a") == 0.0
+    assert limiter.check("a") > 0.0
+    clock.now += 0.5  # 2 tokens/s * 0.5 s = 1 token back
+    assert limiter.check("a") == 0.0
+    assert limiter.check("a") > 0.0
+
+
+def test_clients_are_independent():
+    limiter = RateLimiter(rate=1.0, burst=1, clock=FakeClock())
+    assert limiter.check("a") == 0.0
+    assert limiter.check("a") > 0.0
+    assert limiter.check("b") == 0.0
+
+
+def test_disabled_limiter_always_allows():
+    limiter = RateLimiter(rate=None, burst=1, clock=FakeClock())
+    assert all(limiter.check("a") == 0.0 for _ in range(100))
+    assert limiter.rejected == 0
+
+
+def test_wait_matches_deficit():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=4.0, burst=1, now=clock.now)
+    assert bucket.take(clock.now) == 0.0
+    # Bucket is empty; one token at 4/s is 0.25 s away.
+    assert abs(bucket.take(clock.now) - 0.25) < 1e-9
+
+
+def test_tokens_cap_at_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=2, now=clock.now)
+    clock.now += 1000.0
+    bucket.take(clock.now)
+    assert bucket.tokens <= 2.0
+
+
+def test_idle_buckets_are_collected():
+    clock = FakeClock()
+    limiter = RateLimiter(rate=100.0, burst=1, clock=clock, max_idle=10.0)
+    for i in range(1100):
+        limiter.check("client-{}".format(i))
+    clock.now += 100.0
+    # Next check triggers GC of everything idle past max_idle.
+    for i in range(1100):
+        limiter.check("fresh-{}".format(i))
+    assert len(limiter._buckets) <= 1200

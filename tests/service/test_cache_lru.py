@@ -1,0 +1,104 @@
+"""LRU size-cap tests for the disk result cache."""
+
+import os
+import time
+
+from repro.service.cache import ResultCache
+from repro.reach.result import SecResult
+
+
+def result_for(key):
+    return SecResult(equivalent=True, method="van_eijk",
+                     details={"origin": key})
+
+
+def put_many(cache, keys):
+    for key in keys:
+        cache.put(key, result_for(key))
+
+
+def backdate(cache, key, seconds):
+    """Shift an entry's mtime into the past (mtime is the LRU clock)."""
+    path = cache._path(key)
+    past = time.time() - seconds
+    os.utime(path, (past, past))
+
+
+def test_uncapped_cache_never_prunes(tmp_path):
+    cache = ResultCache(tmp_path)
+    put_many(cache, ["k{:02d}".format(i) for i in range(20)])
+    assert len(cache) == 20
+    assert cache.prune() == 0
+    assert cache.evictions == 0
+
+
+def test_max_entries_evicts_oldest(tmp_path):
+    cache = ResultCache(tmp_path, max_entries=3)
+    for age, key in [(300, "aa1"), (200, "bb2"), (100, "cc3")]:
+        cache.put(key, result_for(key))
+        backdate(cache, key, age)
+    cache.put("dd4", result_for("dd4"))
+    assert len(cache) == 3
+    assert "aa1" not in cache  # oldest went first
+    assert "dd4" in cache
+    assert cache.evictions == 1
+
+
+def test_get_refreshes_recency(tmp_path):
+    cache = ResultCache(tmp_path, max_entries=2)
+    cache.put("aa1", result_for("aa1"))
+    cache.put("bb2", result_for("bb2"))
+    backdate(cache, "aa1", 300)
+    backdate(cache, "bb2", 200)
+    assert cache.get("aa1") is not None  # touch: aa1 becomes most recent
+    cache.put("cc3", result_for("cc3"))
+    assert "aa1" in cache
+    assert "bb2" not in cache
+
+
+def test_max_bytes_cap(tmp_path):
+    cache = ResultCache(tmp_path)
+    put_many(cache, ["aa1", "bb2", "cc3", "dd4"])
+    entry_bytes = cache.total_bytes() // 4
+    cache.max_bytes = int(entry_bytes * 2.5)  # room for two entries
+    cache.put("ee5", result_for("ee5"))
+    assert cache.total_bytes() <= cache.max_bytes
+    assert "ee5" in cache
+
+
+def test_explicit_prune_arguments(tmp_path):
+    cache = ResultCache(tmp_path)  # uncapped instance
+    for i, key in enumerate(["aa1", "bb2", "cc3", "dd4"]):
+        cache.put(key, result_for(key))
+        backdate(cache, key, 400 - i * 100)
+    evicted = cache.prune(max_entries=1)
+    assert evicted == 3
+    assert len(cache) == 1
+    assert "dd4" in cache
+
+
+def test_stats_reports_caps_and_evictions(tmp_path):
+    cache = ResultCache(tmp_path, max_entries=1, max_bytes=10**6)
+    cache.put("aa1", result_for("aa1"))
+    backdate(cache, "aa1", 60)
+    cache.put("bb2", result_for("bb2"))
+    assert cache.get("bb2") is not None
+    assert cache.get("aa1") is None  # evicted
+    stats = cache.stats()
+    assert stats["entries"] == 1
+    assert stats["evictions"] == 1
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["max_entries"] == 1
+    assert stats["max_bytes"] == 10**6
+    assert stats["bytes"] > 0
+
+
+def test_clear_keeps_directory(tmp_path):
+    cache = ResultCache(tmp_path, max_entries=10)
+    put_many(cache, ["aa1", "bb2"])
+    cache.clear()
+    assert len(cache) == 0
+    assert os.path.isdir(str(tmp_path))
+    cache.put("cc3", result_for("cc3"))
+    assert "cc3" in cache
