@@ -1,0 +1,232 @@
+"""Parallel refinement + compiled kernel vs. the serial baseline.
+
+Standalone script (not a pytest-benchmark module), two sections:
+
+* **refinement** — runs ``check_equivalence_sat_sweep`` once per worker
+  count per Table-1 row (``0`` = serial baseline), asserts every
+  configuration returns the identical verdict and final class count, and
+  records wall-clock plus the per-round worker telemetry the engine emits.
+* **kernel** — measures simulation throughput of the exec-compiled
+  :class:`CompiledSim` against the interpreted ``bit_parallel_eval`` on the
+  same product circuits (the kernel backs partition seeding and every
+  counterexample replay).  Acceptance bar: >= 3x.
+
+Wall-clock speedup from worker processes requires actual cores;
+``cpu_count`` is recorded in the report and the 2x acceptance bar is only
+*enforced* when the host has at least as many cores as the largest worker
+count (on a single-core container the report is still written, with a
+warning — honest numbers over aspirational ones).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py \
+        [--rows s838 s953 | --rows 2] [--workers 0,2,4] \
+        [--out BENCH_parallel.json] [--time-limit SECONDS]
+
+``--rows N`` (a single integer) selects the N largest default rows.
+"""
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+
+from repro.circuits import row_by_name, table1_suite
+from repro.core import check_equivalence_sat_sweep
+from repro.netlist import CompiledSim, bit_parallel_eval, build_product
+
+DEFAULT_ROWS = [row.name for row in table1_suite(scales=("small",))]
+
+
+def select_rows(tokens):
+    """Row names, or a single integer selecting the N largest defaults."""
+    if len(tokens) == 1 and tokens[0].isdigit():
+        count = int(tokens[0])
+        by_size = sorted(DEFAULT_ROWS,
+                         key=lambda name: row_by_name(name).pair()[0].num_registers,
+                         reverse=True)
+        return by_size[:count]
+    return list(tokens)
+
+
+def run_mode(spec, impl, workers, time_limit):
+    rounds = []
+
+    def progress(kind, **data):
+        if kind == "refinement_round":
+            rounds.append(data)
+
+    started = time.perf_counter()
+    result = check_equivalence_sat_sweep(
+        spec, impl, match_outputs="order", refine_workers=workers,
+        time_limit=time_limit, progress=progress,
+    )
+    seconds = time.perf_counter() - started
+    parallel_rounds = [r for r in rounds if r.get("workers")]
+    return {
+        "workers": workers,
+        "seconds": round(seconds, 4),
+        "verdict": result.equivalent,
+        "classes": result.details.get("classes"),
+        "rounds": len(rounds),
+        "parallel_rounds": len(parallel_rounds),
+        "mean_round_speedup": round(
+            sum(r["speedup"] for r in parallel_rounds)
+            / len(parallel_rounds), 3) if parallel_rounds else None,
+        "solver_constructions": result.details.get(
+            "solver_stats", {}).get("solver_constructions"),
+    }
+
+
+def bench_row(name, worker_counts, time_limit):
+    spec, impl = row_by_name(name).pair()
+    modes = [run_mode(spec, impl, w, time_limit) for w in worker_counts]
+    baseline = modes[0]
+    for mode in modes[1:]:
+        if mode["verdict"] != baseline["verdict"]:
+            raise AssertionError(
+                "{}: verdict mismatch at workers={} ({} vs {})".format(
+                    name, mode["workers"], mode["verdict"],
+                    baseline["verdict"]))
+        if mode["classes"] != baseline["classes"]:
+            raise AssertionError(
+                "{}: class-count mismatch at workers={} ({} vs {})".format(
+                    name, mode["workers"], mode["classes"],
+                    baseline["classes"]))
+        mode["speedup_vs_serial"] = round(
+            baseline["seconds"] / max(mode["seconds"], 1e-9), 2)
+    return {
+        "circuit": name,
+        "regs": "{}/{}".format(spec.num_registers, impl.num_registers),
+        "modes": modes,
+    }
+
+
+def bench_kernel(name, frames=200, width=64, seed=7):
+    """Interpreted vs. compiled throughput on one row's product circuit."""
+    spec, impl = row_by_name(name).pair()
+    circuit = build_product(spec, impl, match_outputs="order").circuit
+    sim = CompiledSim(circuit)
+    rng = random.Random(seed)
+    leaves = list(circuit.inputs) + list(circuit.registers)
+    envs = [{net: rng.getrandbits(width) for net in leaves}
+            for _ in range(frames)]
+    # Warm both paths (topo cache, kernel namespace) before timing.
+    bit_parallel_eval(circuit, envs[0], width)
+    sim.eval(envs[0], width)
+    started = time.perf_counter()
+    for env in envs:
+        bit_parallel_eval(circuit, env, width)
+    interpreted = time.perf_counter() - started
+    started = time.perf_counter()
+    for env in envs:
+        sim.eval(env, width)
+    compiled = time.perf_counter() - started
+    return {
+        "circuit": name,
+        "nets": len(circuit.gates),
+        "frames": frames,
+        "width": width,
+        "interpreted_seconds": round(interpreted, 4),
+        "compiled_seconds": round(compiled, 4),
+        "throughput_ratio": round(interpreted / max(compiled, 1e-9), 2),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", nargs="+", default=DEFAULT_ROWS,
+                        metavar="NAME|N",
+                        help="suite rows, or a single count of the largest")
+    parser.add_argument("--workers", default="0,2,4", metavar="LIST",
+                        help="comma-separated worker counts (0 = serial)")
+    parser.add_argument("--out", default="BENCH_parallel.json",
+                        help="output JSON path")
+    parser.add_argument("--time-limit", type=float, default=300.0,
+                        help="per-run SAT sweep time limit (seconds)")
+    args = parser.parse_args(argv)
+
+    worker_counts = [int(tok) for tok in args.workers.split(",") if tok != ""]
+    if not worker_counts or worker_counts[0] != 0:
+        worker_counts = [0] + [w for w in worker_counts if w != 0]
+    names = select_rows(args.rows)
+    cores = os.cpu_count() or 1
+    max_workers = max(worker_counts)
+    if cores < max_workers:
+        print("WARNING: {} core(s) < {} workers — wall-clock speedup is not "
+              "achievable on this host; verdict identity is still checked "
+              "and per-round telemetry recorded".format(cores, max_workers),
+              file=sys.stderr)
+
+    rows = []
+    for name in names:
+        print("== {}".format(name), flush=True)
+        row = bench_row(name, worker_counts, args.time_limit)
+        for mode in row["modes"]:
+            print("   workers={:<2d} {:>8.3f}s  classes={:<4} rounds={} "
+                  "constructions={}{}".format(
+                      mode["workers"], mode["seconds"], mode["classes"],
+                      mode["rounds"], mode["solver_constructions"],
+                      "  ({}x vs serial)".format(mode["speedup_vs_serial"])
+                      if "speedup_vs_serial" in mode else ""),
+                  flush=True)
+        rows.append(row)
+
+    kernel = [bench_kernel(name) for name in names]
+    for entry in kernel:
+        print("kernel {}: interpreted {}s vs compiled {}s ({}x)".format(
+            entry["circuit"], entry["interpreted_seconds"],
+            entry["compiled_seconds"], entry["throughput_ratio"]),
+            flush=True)
+
+    serial_total = round(sum(r["modes"][0]["seconds"] for r in rows), 4)
+    best = {}
+    for w in worker_counts[1:]:
+        total = round(sum(
+            m["seconds"] for r in rows for m in r["modes"]
+            if m["workers"] == w), 4)
+        best[str(w)] = {
+            "seconds": total,
+            "speedup_vs_serial": round(serial_total / max(total, 1e-9), 2),
+        }
+    min_kernel_ratio = min(e["throughput_ratio"] for e in kernel)
+    summary = {
+        "rows": len(rows),
+        "cpu_count": cores,
+        "worker_counts": worker_counts,
+        "serial_seconds": serial_total,
+        "parallel": best,
+        "min_kernel_throughput_ratio": min_kernel_ratio,
+        "verdicts_identical": True,  # bench_row raises otherwise
+    }
+    report = {"bench": "parallel_refinement", "summary": summary,
+              "results": rows, "kernel": kernel}
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    print("\nSerial total {}s; parallel: {}; min kernel ratio {}x; wrote {}"
+          .format(serial_total,
+                  ", ".join("{}w={}s ({}x)".format(
+                      w, best[w]["seconds"], best[w]["speedup_vs_serial"])
+                      for w in sorted(best)) or "n/a",
+                  min_kernel_ratio, args.out), flush=True)
+
+    failed = False
+    if min_kernel_ratio < 3.0:
+        print("WARNING: kernel throughput ratio {}x below the 3x bar".format(
+            min_kernel_ratio), file=sys.stderr)
+        failed = True
+    wall_bar = max((b["speedup_vs_serial"] for b in best.values()),
+                   default=None)
+    if best and cores >= max_workers and wall_bar < 2.0:
+        print("WARNING: best wall-clock speedup {}x below the 2x bar".format(
+            wall_bar), file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -73,6 +73,12 @@ def _cmd_verify(args):
     if args.events:
         writer = JsonlEventWriter(args.events)
         bus.subscribe(writer)
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         if args.portfolio:
             from .service import run_portfolio
@@ -100,6 +106,8 @@ def _cmd_verify(args):
                     options["node_limit"] = args.node_limit
             elif args.method == "sat_sweep":
                 options["incremental"] = not args.no_incremental
+                if args.refine_workers:
+                    options["refine_workers"] = args.refine_workers
                 if args.time_limit:
                     options["time_limit"] = args.time_limit
             elif args.method == "traversal":
@@ -124,6 +132,11 @@ def _cmd_verify(args):
                             match_inputs=args.match_inputs,
                             match_outputs=args.match_outputs, **options)
     finally:
+        if profiler is not None:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+            print("profile: pstats dumped to {}".format(args.profile),
+                  file=sys.stderr)
         if writer is not None:
             writer.close()
     if args.json:
@@ -151,10 +164,14 @@ def _cmd_batch(args):
             return 1
     else:
         rows = table1_suite(scales=tuple(args.scales))
+    options = {}
+    if args.refine_workers and args.method == "sat_sweep":
+        options["refine_workers"] = args.refine_workers
     jobs = []
     for row in rows:
         spec, impl = row.pair(optimize_level=args.optimize_level)
         jobs.append(JobSpec(row.name, spec, impl, method=args.method,
+                            options=dict(options),
                             tags={"scale": row.scale}))
     bus = EventBus()
     if not args.json:
@@ -344,6 +361,7 @@ def _cmd_serve(args):
             cache_max_bytes=args.cache_max_bytes,
             queue_limit=args.queue_limit,
             job_time_limit=args.time_limit,
+            refine_workers=args.refine_workers,
             rate=args.rate,
             burst=args.burst,
             ready_file=args.ready_file,
@@ -418,6 +436,8 @@ def _remote_verify(args):
         options["time_limit"] = args.time_limit
     if args.max_depth is not None:
         options["max_depth"] = args.max_depth
+    if args.refine_workers:
+        options["refine_workers"] = args.refine_workers
     if args.suite:
         job_id = client.submit_suite(
             args.suite, method=args.method, options=options,
@@ -536,6 +556,13 @@ def build_parser():
     p_verify.add_argument("--no-incremental", action="store_true",
                           help="sat_sweep only: fall back to the "
                                "solver-per-round baseline engine")
+    p_verify.add_argument("--refine-workers", type=int, default=0,
+                          metavar="N",
+                          help="sat_sweep only: fan refinement rounds out "
+                               "over N worker processes (0 = serial)")
+    p_verify.add_argument("--profile", metavar="FILE",
+                          help="profile the verification with cProfile and "
+                               "dump pstats data to FILE")
     p_verify.add_argument("--reach-bound", choices=["approx", "exact"])
     p_verify.add_argument("--time-limit", type=float)
     p_verify.add_argument("--node-limit", type=int)
@@ -553,6 +580,10 @@ def build_parser():
     p_batch.add_argument("--method", choices=METHODS, default="van_eijk")
     p_batch.add_argument("--workers", type=int, default=2,
                          help="parallel worker processes (0 = inline)")
+    p_batch.add_argument("--refine-workers", type=int, default=0,
+                         metavar="N",
+                         help="sat_sweep only: per-job parallel refinement "
+                              "workers (0 = serial)")
     p_batch.add_argument("--optimize-level", type=int, default=2)
     p_batch.add_argument("--time-limit", type=float, default=300.0,
                          help="per-job engine time budget (seconds)")
@@ -645,6 +676,10 @@ def build_parser():
                               "get 429 backpressure")
     p_serve.add_argument("--time-limit", type=float,
                          help="per-job engine time budget (seconds)")
+    p_serve.add_argument("--refine-workers", type=int, default=0,
+                         metavar="N",
+                         help="default parallel refinement workers for "
+                              "sat_sweep jobs (0 = serial)")
     p_serve.add_argument("--rate", type=float, default=20.0,
                          help="per-client request rate (requests/second)")
     p_serve.add_argument("--burst", type=int, default=40,
@@ -685,6 +720,10 @@ def build_parser():
     pr_verify.add_argument("--time-limit", type=float)
     pr_verify.add_argument("--max-depth", type=int,
                            help="BMC unrolling bound")
+    pr_verify.add_argument("--refine-workers", type=int, default=0,
+                           metavar="N",
+                           help="sat_sweep only: parallel refinement "
+                                "workers (0 = serial)")
     pr_verify.add_argument("--no-watch", action="store_true",
                            help="poll for the verdict instead of streaming "
                                 "the SSE progress events")

@@ -1,7 +1,7 @@
 """The paper's contribution: sequential equivalence checking by signal
 correspondence, without state space traversal."""
 
-from .cexsplit import partition_by_value, replay_pattern
+from .cexsplit import partition_by_value, replay_packed, replay_pattern
 from .partition import Partition, SignalFunction
 from .timeframe import TimeFrame
 from .correspondence import (
@@ -16,6 +16,7 @@ from .engine import (
     equivalence_percentage,
 )
 from .satbackend import SatCorrespondence, check_equivalence_sat_sweep
+from .parallel import ParallelSatCorrespondence
 from .diagnose import DiagnosisReport, diagnose
 from .bmc import bmc_refute, check_inequivalence_bmc
 
@@ -25,6 +26,7 @@ __all__ = [
     "DiagnosisReport",
     "diagnose",
     "SatCorrespondence",
+    "ParallelSatCorrespondence",
     "check_equivalence_sat_sweep",
     "CorrespondenceResult",
     "Partition",
@@ -38,5 +40,6 @@ __all__ = [
     "initial_partition",
     "is_augmented",
     "partition_by_value",
+    "replay_packed",
     "replay_pattern",
 ]

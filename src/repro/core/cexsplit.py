@@ -39,7 +39,7 @@ def partition_by_value(members, value_of):
     return [buckets[value] for value in order]
 
 
-def replay_pattern(circuit, initial_state, input_frames):
+def replay_pattern(circuit, initial_state, input_frames, sim=None):
     """Replay one concrete pattern through ``len(input_frames)`` frames.
 
     ``initial_state`` maps every register to its frame-0 value and
@@ -47,14 +47,56 @@ def replay_pattern(circuit, initial_state, input_frames):
     Returns one full net valuation (``{net: 0/1}``) per frame, computed with
     the same bit-parallel evaluator the random-simulation seeding uses, so a
     replayed witness is guaranteed to agree with the circuit semantics the
-    solver encoded.
+    solver encoded.  Pass a prebuilt :class:`CompiledSim` as ``sim`` to reuse
+    the compiled kernel across replays (the engines do).
     """
-    state = {net: int(bool(value)) for net, value in initial_state.items()}
-    frames = []
-    for inputs in input_frames:
-        env = {net: int(bool(value)) for net, value in inputs.items()}
-        env.update(state)
-        values = bit_parallel_eval(circuit, env, 1)
-        frames.append(values)
-        state = next_state(circuit, values)
-    return frames
+    if sim is None:
+        state = {net: int(bool(value)) for net, value in initial_state.items()}
+        frames = []
+        for inputs in input_frames:
+            env = {net: int(bool(value)) for net, value in inputs.items()}
+            env.update(state)
+            values = bit_parallel_eval(circuit, env, 1)
+            frames.append(values)
+            state = next_state(circuit, values)
+        return frames
+    return sim.replay(initial_state, input_frames)
+
+
+def replay_packed(sim, patterns):
+    """Replay many packed patterns bit-parallel in one pass.
+
+    Each pattern is ``(state_bits, frame_bits)``: ``state_bits`` packs the
+    frame-0 register values (bit *r* = register ``sim.registers[r]``) and
+    ``frame_bits[t]`` packs the frame-``t`` input values (bit *j* = input
+    ``sim.inputs[j]``).  Pattern *i* occupies bit *i* of every returned word;
+    the result is one word list per frame, indexed by ``sim.index(net)``.
+
+    This is how the parallel refinement engine merges a whole round's worth
+    of counterexamples into a single global multi-class split: one compiled
+    simulation at width ``len(patterns)`` instead of one replay per witness.
+    """
+    width = len(patterns)
+    if width == 0:
+        return []
+    n_frames = len(patterns[0][1])
+    state_words = [0] * len(sim.registers)
+    for i, (state_bits, frame_bits) in enumerate(patterns):
+        if len(frame_bits) != n_frames:
+            raise ValueError("patterns disagree on frame count")
+        bit = 1 << i
+        for r in range(len(state_words)):
+            if (state_bits >> r) & 1:
+                state_words[r] |= bit
+    input_frame_words = []
+    for t in range(n_frames):
+        words = [0] * len(sim.inputs)
+        for i, (_, frame_bits) in enumerate(patterns):
+            bits = frame_bits[t]
+            if bits:
+                bit = 1 << i
+                for j in range(len(words)):
+                    if (bits >> j) & 1:
+                        words[j] |= bit
+        input_frame_words.append(words)
+    return sim.replay_words(state_words, input_frame_words, width)

@@ -1,0 +1,477 @@
+"""Parallel fixed-point refinement for the SAT correspondence engine.
+
+Within one refinement round the Q-constrained checks for different
+equivalence classes are independent given the previous round's partition:
+every query ranges over the same Q (built from the round-*start* classes),
+so class A's verdicts never depend on how class B is being split this
+round.  :class:`ParallelSatCorrespondence` exploits that by partitioning
+the round's nontrivial classes into chunks and dispatching them to a
+persistent pool of worker processes, each holding its **own** incremental
+SAT encoding of the k+1 unrolled frames (encoded once per worker, at pool
+spawn — the PR 3 invariant, per worker).
+
+Why the same fixed point falls out
+----------------------------------
+
+Van Eijk's iteration computes the *greatest* fixed point of the Eq. 3
+refinement operator, and that fixed point is unique: any sequence of sound
+splits — splits justified by a witness satisfying the round-start Q —
+converges to the identical final partition regardless of order.  Workers
+only split on SAT models of ``Q ∧ (leader ≠ member)``, the master's global
+merge only splits on replays of those same models (replay semantics equals
+encoding semantics, pinned by the cexsplit tests), and verified pairs are
+UNSAT-proven equal in *every* Q-state — so no round-mate's witness can
+contradict them.  Hence the parallel engine is verdict- **and**
+partition-identical to the serial one; ``tests/core/test_parallel.py``
+asserts exactly that on random pairs, the Table-1 suite and the regression
+corpus.
+
+Mechanics
+---------
+
+* Workers are **raw-fork** children (``service.procs.fork_worker``), not
+  ``multiprocessing`` processes: service workers are daemonic and daemonic
+  processes may not start multiprocessing children, but they may fork.
+  Messages are length-prefixed pickles over plain pipes; teardown reuses
+  ``service.procs.terminate_gracefully`` via :class:`ForkProcess`.
+* Each round the master sends every worker the full round-start partition
+  (as signal indices — the ``_signals`` list is shared by fork) plus its
+  chunk of class ids; the worker adds Q clauses for *all* classes under a
+  fresh activation literal, queries only its chunk, mass-splits within the
+  chunk on its own counterexamples, then retires the literal and
+  ``simplify()``-s, exactly like the serial round.
+* Counterexample models stream back as compact bit-patterns
+  (``(state_bits, per-frame input_bits)``); the master replays **all** of a
+  round's patterns in one bit-parallel pass (``cexsplit.replay_packed`` at
+  width = #patterns) and applies one global multi-class split, so worker A's
+  witnesses also refine worker B's classes before the next round.
+* Chunking is deterministic: nontrivial classes sorted by size descending,
+  greedily assigned to the least-loaded worker (load = members - 1, the
+  pair-check lower bound).  Rounds with fewer than two nontrivial classes
+  run serially on the master's own solver — the pool only pays off when
+  there is real fan-out.
+* Any worker failure (crash, EOF, unpicklable reply) permanently degrades
+  the engine to serial rounds on the master solver; budget/cancel aborts
+  tear the pool down via SIGTERM.  Either way ``compute()`` leaves no
+  orphans behind.
+"""
+
+import os
+import pickle
+import select
+import time
+import traceback
+
+from ..errors import ResourceBudgetExceeded
+from ..sat.solver import Solver
+from ..sat.tseitin import TseitinEncoder
+from ..service.procs import (fork_worker, read_framed, terminate_gracefully,
+                             write_framed)
+from .cexsplit import partition_by_value, replay_packed
+from .satbackend import CONST_NET, _SOLVER_COUNTERS, SatCorrespondence
+
+
+class _WorkerHandle:
+    __slots__ = ("index", "proc", "req_w", "resp_r")
+
+    def __init__(self, index, proc, req_w, resp_r):
+        self.index = index
+        self.proc = proc
+        self.req_w = req_w
+        self.resp_r = resp_r
+
+
+def _assign_chunks(classes, nontrivial, n_workers):
+    """Deterministic greedy LPT assignment of class ids to workers.
+
+    Returns the non-empty chunks (each a sorted list of class ids); load is
+    ``len(cls) - 1``, the minimum number of pair checks the class costs.
+    """
+    order = sorted(nontrivial, key=lambda cid: (-len(classes[cid]), cid))
+    loads = [0] * n_workers
+    chunks = [[] for _ in range(n_workers)]
+    for cid in order:
+        wi = min(range(n_workers), key=lambda w: (loads[w], w))
+        chunks[wi].append(cid)
+        loads[wi] += len(classes[cid]) - 1
+    return [sorted(chunk) for chunk in chunks if chunk]
+
+
+class ParallelSatCorrespondence(SatCorrespondence):
+    """Signal correspondence with parallel refinement rounds.
+
+    Drop-in for :class:`SatCorrespondence` (incremental mode only); the
+    base case and any low-fan-out round still run on the master's own
+    solver, so ``refine_workers=N`` costs ``1 + N`` solver constructions
+    and frame encodings per ``compute()``.
+    """
+
+    #: Rounds with fewer nontrivial classes than this run serially.
+    min_parallel_classes = 2
+
+    def __init__(self, product, refine_workers=2, **kwargs):
+        refine_workers = int(refine_workers)
+        if refine_workers < 1:
+            raise ValueError("refine_workers must be >= 1")
+        if not kwargs.pop("incremental", True):
+            raise ValueError(
+                "parallel refinement requires the incremental engine")
+        super().__init__(product, incremental=True, **kwargs)
+        self.refine_workers = refine_workers
+        self._workers = []
+        self._pool_broken = not hasattr(os, "fork")
+        self._net_index = {sig.net: i for i, sig in enumerate(self._signals)}
+        self._round_stats = {"workers": 0}
+        self._round_no = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def compute(self, max_iterations=None):
+        try:
+            return super().compute(max_iterations=max_iterations)
+        finally:
+            self.close()
+
+    def close(self):
+        """Tear the worker pool down; idempotent, leaves no orphans."""
+        workers, self._workers = self._workers, []
+        for handle in workers:
+            try:
+                write_framed(handle.req_w,
+                             pickle.dumps(("stop",),
+                                          pickle.HIGHEST_PROTOCOL))
+            except OSError:
+                pass
+        for handle in workers:
+            for fd in (handle.req_w, handle.resp_r):
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+        if workers:
+            terminate_gracefully([h.proc for h in workers], grace=1.0)
+
+    def _ensure_pool(self):
+        if self._workers or self._pool_broken:
+            return
+        parent_fds = []
+        workers = []
+        try:
+            for wi in range(self.refine_workers):
+                req_r, req_w = os.pipe()
+                resp_r, resp_w = os.pipe()
+                # The child must drop every parent-side fd it inherited:
+                # its own pair's, and those of previously-forked siblings —
+                # otherwise a dead master's pipes never read EOF.
+                child_closes = list(parent_fds) + [req_w, resp_r]
+                proc = fork_worker(_worker_main, self, wi, req_r, resp_w,
+                                   child_closes)
+                os.close(req_r)
+                os.close(resp_w)
+                parent_fds.extend([req_w, resp_r])
+                workers.append(_WorkerHandle(wi, proc, req_w, resp_r))
+        except OSError:
+            for handle in workers:
+                os.close(handle.req_w)
+                os.close(handle.resp_r)
+            terminate_gracefully([h.proc for h in workers], grace=0.5)
+            self._pool_broken = True
+            return
+        self._workers = workers
+        # Each worker builds one solver + one unrolled encoding at spawn.
+        self.stats["solver_constructions"] += len(workers)
+        self.stats["frame_encodings"] += len(workers)
+
+    def _teardown_pool(self, broken=False):
+        self.close()
+        if broken:
+            self._pool_broken = True
+
+    # -- the parallel round ------------------------------------------------
+
+    def _round_extra(self):
+        return dict(self._round_stats)
+
+    def _refine_round_incremental(self, classes, deadline):
+        nontrivial = [cid for cid, cls in enumerate(classes) if len(cls) > 1]
+        if len(nontrivial) < self.min_parallel_classes or self._pool_broken:
+            self._round_stats = {"workers": 0}
+            return super()._refine_round_incremental(classes, deadline)
+        self._ensure_pool()
+        if not self._workers:
+            self._round_stats = {"workers": 0}
+            return super()._refine_round_incremental(classes, deadline)
+        round_start = time.monotonic()
+        self._round_no += 1
+        chunks = _assign_chunks(classes, nontrivial, len(self._workers))
+        used = list(zip(self._workers, chunks))
+        class_ids = [[self._net_index[sig.net] for sig in cls]
+                     for cls in classes]
+        failed = False
+        for handle, chunk in used:
+            request = ("round", self._round_no, class_ids, chunk, deadline)
+            try:
+                write_framed(handle.req_w,
+                             pickle.dumps(request, pickle.HIGHEST_PROTOCOL))
+            except OSError:
+                failed = True
+        responses = {}
+        if not failed:
+            responses, failed = self._collect([h for h, _ in used], deadline)
+        if not failed:
+            for handle, _ in used:
+                msg = responses.get(handle.index)
+                if msg is None or msg[0] == "error":
+                    if msg is not None:
+                        self._emit("refinement_worker_error",
+                                   worker=handle.index,
+                                   error=str(msg[1])[:2000])
+                    failed = True
+                elif msg[0] == "budget":
+                    raise ResourceBudgetExceeded(msg[1])
+        if failed:
+            # A broken pool degrades to the serial engine — identical fixed
+            # point, just no fan-out.  Partial worker results are dropped.
+            self._teardown_pool(broken=True)
+            self._emit("refinement_pool_fallback", round=self._round_no)
+            self._round_stats = {"workers": 0}
+            return super()._refine_round_incremental(classes, deadline)
+
+        # Deterministic merge: worker results in worker order, then one
+        # global split by every pattern at once.
+        out_by_cid = {}
+        patterns = []
+        worker_seconds = []
+        for handle, _ in used:
+            _, out_map, w_patterns, delta, elapsed = responses[handle.index]
+            out_by_cid.update(out_map)
+            patterns.extend(w_patterns)
+            worker_seconds.append(elapsed)
+            for key, value in delta.items():
+                self.stats[key] += value
+        signals = self._signals
+        new_classes = []
+        for cid, cls in enumerate(classes):
+            subclasses = out_by_cid.get(cid)
+            if subclasses is None:
+                new_classes.append(cls)
+            else:
+                for id_list in subclasses:
+                    new_classes.append([signals[i] for i in id_list])
+        if patterns:
+            new_classes = self._global_split(new_classes, patterns)
+        round_seconds = time.monotonic() - round_start
+        busy = sum(worker_seconds)
+        self._round_stats = {
+            "workers": len(used),
+            "worker_seconds": [round(s, 6) for s in worker_seconds],
+            "round_seconds": round(round_seconds, 6),
+            "speedup": (round(busy / round_seconds, 3)
+                        if round_seconds > 0 else 0.0),
+        }
+        return new_classes, len(new_classes) > len(classes)
+
+    def _global_split(self, classes, patterns):
+        """Split every class by the check-frame values of all patterns.
+
+        Each pattern satisfied the round's Q, so its replayed check-frame
+        valuation is a sound Eq. 3 splitter for every class; replaying all
+        of them at once (width = #patterns) makes this one compiled
+        simulation pass.
+        """
+        check_words = replay_packed(self._csim, patterns)[-1]
+        width = len(patterns)
+        full = (1 << width) - 1
+        csim = self._csim
+
+        def value_of(sig):
+            if sig.net == CONST_NET:
+                word = full
+            else:
+                word = check_words[csim.index(sig.net)]
+            return word ^ full if sig.complemented else word
+
+        out = []
+        for cls in classes:
+            if len(cls) == 1:
+                out.append(cls)
+                continue
+            groups = partition_by_value(cls, value_of)
+            if len(groups) > 1:
+                self.stats["cex_class_splits"] += 1
+            out.extend(groups)
+        return out
+
+    def _collect(self, handles, deadline):
+        """Gather one reply per handle; polls budget/cancel while waiting."""
+        responses = {}
+        failed = False
+        pending = {handle.resp_r: handle for handle in handles}
+        while pending:
+            self._check_budget(deadline)
+            ready, _, _ = select.select(list(pending), [], [], 0.1)
+            for fd in ready:
+                handle = pending.pop(fd)
+                try:
+                    payload = read_framed(fd)
+                    if payload is None:
+                        raise EOFError("refinement worker exited")
+                    responses[handle.index] = pickle.loads(payload)
+                except Exception:
+                    failed = True
+        return responses, failed
+
+
+# -- worker side -----------------------------------------------------------
+
+
+def _worker_main(engine, worker_index, req_r, resp_w, close_fds):
+    """Child entry: serve refinement rounds until EOF or a stop message."""
+    for fd in close_fds:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    worker = _RefinementWorker(engine)
+    while True:
+        payload = read_framed(req_r)
+        if payload is None:
+            break
+        message = pickle.loads(payload)
+        if message[0] == "stop":
+            break
+        try:
+            reply = worker.run_round(message)
+        except ResourceBudgetExceeded as exc:
+            reply = ("budget", str(exc))
+        except Exception:
+            reply = ("error", traceback.format_exc())
+        write_framed(resp_w, pickle.dumps(reply, pickle.HIGHEST_PROTOCOL))
+
+
+class _RefinementWorker:
+    """Per-process incremental refinement state (lives only in children).
+
+    Holds its own solver and one Tseitin encoding of the k+1 unrolled
+    frames; ``engine`` is the forked copy of the master engine, supplying
+    the shared ``_signals`` list, the compiled simulation kernel and the
+    circuit.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.circuit = engine.circuit
+        enc = TseitinEncoder()
+        self.frames = engine._encode_unrolled(enc, engine.k + 1)
+        self.true_var = enc.new_var()
+        self.solver = Solver()
+        self.solver.add_cnf(enc.cnf)
+        self.solver.add_clause([self.true_var])
+        self.signals = engine._signals
+        self.csim = engine._csim
+        self.net_index = engine._net_index
+
+    def _lit(self, sig, frame_vars):
+        var = self.true_var if sig.net == CONST_NET else frame_vars[sig.net]
+        return -var if sig.complemented else var
+
+    def _extract_pattern(self):
+        """The current model as ``(state_bits, per-frame input_bits)``."""
+        solver = self.solver
+        state_bits = 0
+        for r, net in enumerate(self.csim.registers):
+            if solver.value(self.frames[0][net]):
+                state_bits |= 1 << r
+        frame_bits = []
+        for frame_vars in self.frames:
+            word = 0
+            for j, net in enumerate(self.csim.inputs):
+                if solver.value(frame_vars[net]):
+                    word |= 1 << j
+            frame_bits.append(word)
+        return (state_bits, frame_bits)
+
+    def run_round(self, message):
+        _, _round_no, class_ids, chunk_cids, deadline = message
+        started = time.monotonic()
+        before = self.solver.stats()
+        signals = self.signals
+        classes = [[signals[i] for i in ids] for ids in class_ids]
+        solver = self.solver
+        act = solver.new_var()
+        # Q over the *full* round-start partition — a witness must satisfy
+        # the same correspondence condition the serial round assumes, or
+        # its splits would not be sound for other workers' classes.
+        for frame_vars in self.frames[:-1]:
+            for cls in classes:
+                if len(cls) < 2:
+                    continue
+                rep = self._lit(cls[0], frame_vars)
+                for member in cls[1:]:
+                    m = self._lit(member, frame_vars)
+                    solver.add_clause([-rep, m, -act])
+                    solver.add_clause([rep, -m, -act])
+        check_frame = self.frames[-1]
+        queries = 0
+        cex_splits = 0
+        patterns = []
+        done = []
+        items = [(cid, [classes[cid][0]], list(classes[cid][1:]))
+                 for cid in chunk_cids]
+        while items:
+            cid, verified, rest = items.pop()
+            if not rest:
+                done.append((cid, verified))
+                continue
+            if deadline is not None and time.monotonic() > deadline:
+                raise ResourceBudgetExceeded(
+                    "SAT fixpoint time budget exhausted")
+            member = rest.pop(0)
+            la = self._lit(verified[0], check_frame)
+            lb = self._lit(member, check_frame)
+            distinguished = False
+            for assumptions in ([act, la, -lb], [act, -la, lb]):
+                queries += 1
+                if solver.solve(assumptions=assumptions):
+                    distinguished = True
+                    break
+            if not distinguished:
+                verified.append(member)
+                items.append((cid, verified, rest))
+                continue
+            pattern = self._extract_pattern()
+            patterns.append(pattern)
+            check_words = replay_packed(self.csim, [pattern])[-1]
+            csim = self.csim
+
+            def value_of(sig, _words=check_words):
+                if sig.net == CONST_NET:
+                    word = 1
+                else:
+                    word = _words[csim.index(sig.net)]
+                return word ^ 1 if sig.complemented else word
+
+            items.append((cid, verified, [member] + rest))
+            split_items = []
+            for icid, iverified, irest in items:
+                groups = partition_by_value([iverified[0]] + irest, value_of)
+                if len(groups) > 1:
+                    cex_splits += 1
+                split_items.append((icid, iverified, groups[0][1:]))
+                for group in groups[1:]:
+                    split_items.append((icid, [group[0]], group[1:]))
+            items = split_items
+        solver.add_clause([-act])
+        solver.simplify()
+        out = {}
+        net_index = self.net_index
+        for cid, verified in done:
+            out.setdefault(cid, []).append(
+                [net_index[sig.net] for sig in verified])
+        after = self.solver.stats()
+        delta = {key: after[key] - before[key] for key in _SOLVER_COUNTERS}
+        delta["sat_queries"] = queries
+        delta["cex_patterns"] = len(patterns)
+        delta["cex_class_splits"] = cex_splits
+        elapsed = time.monotonic() - started
+        return ("ok", out, patterns, delta, elapsed)

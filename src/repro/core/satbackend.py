@@ -49,7 +49,7 @@ solver's conflict/propagation counters.  Both are threaded through the
 import time
 
 from ..errors import ResourceBudgetExceeded
-from ..netlist.simulate import SequentialSimulator
+from ..netlist.simulate import CompiledSim, SequentialSimulator
 from ..reach.result import SecResult
 from ..sat.solver import Solver
 from ..sat.tseitin import TseitinEncoder
@@ -119,6 +119,9 @@ class SatCorrespondence:
         self._frames = None
         self._true_var = None
         self._init_act = None
+        # One compiled kernel per compute(): partition seeding and every
+        # counterexample replay share it (and its single topo sort).
+        self._csim = CompiledSim(self.circuit)
         self._simulate()
         self._signals = self._build_signals()
 
@@ -126,7 +129,7 @@ class SatCorrespondence:
 
     def _simulate(self):
         sim = SequentialSimulator(self.circuit, width=self.sim_width,
-                                  seed=self.seed)
+                                  seed=self.seed, compiled=self._csim)
         sim.run(self.sim_frames)
         self.signatures = sim.signatures
         # Reference = (s0, first random input vector): bit 0 of frame 0 is
@@ -191,9 +194,14 @@ class SatCorrespondence:
             self.stats["rounds"] = iterations
             self._emit("refinement_round", round=iterations,
                        classes=len(classes), changed=changed,
-                       **self.solver_stats())
+                       **self._round_extra(), **self.solver_stats())
             if not changed:
                 return classes, iterations
+
+    def _round_extra(self):
+        """Extra per-round event payload; the parallel engine overrides this
+        with worker timing/speedup data."""
+        return {}
 
     def solver_stats(self):
         """Engine counters with the live solver's effort folded in."""
@@ -286,7 +294,8 @@ class SatCorrespondence:
             for j in range(n_frames)
         ]
         self.stats["cex_patterns"] += 1
-        return replay_pattern(self.circuit, state, input_frames)
+        return replay_pattern(self.circuit, state, input_frames,
+                              sim=self._csim)
 
     def _value_key(self, frame_values):
         """Pack the replayed per-frame bits of a signal into one word."""
@@ -521,8 +530,8 @@ def check_equivalence_sat_sweep(spec, impl, match_inputs="name",
                                 sim_frames=24, sim_width=32,
                                 time_limit=None, max_iterations=None, k=1,
                                 use_retiming=False, max_retiming_rounds=3,
-                                incremental=True, progress=None,
-                                cancel_check=None):
+                                incremental=True, refine_workers=0,
+                                progress=None, cancel_check=None):
     """SEC by SAT-based signal correspondence; returns a :class:`SecResult`.
 
     Sound and incomplete exactly like the BDD engine.  ``k > 1`` runs
@@ -530,11 +539,26 @@ def check_equivalence_sat_sweep(spec, impl, match_inputs="name",
     augmentation between fixed points), both strictly increasing proving
     power.  ``incremental=False`` falls back to the solver-per-round
     baseline engine (identical verdicts, kept for differential testing and
-    benchmarking).  ``progress``/``cancel_check`` are the service-layer
-    hooks shared with the BDD engine.
+    benchmarking).  ``refine_workers=N`` (N >= 1) fans each refinement
+    round's per-class checks out over N persistent worker processes
+    (:mod:`repro.core.parallel`) — same fixed point, shared wall clock.
+    ``progress``/``cancel_check`` are the service-layer hooks shared with
+    the BDD engine.
     """
     from ..netlist.product import build_product
     from .retiming_aug import CircuitAugmenter
+
+    refine_workers = int(refine_workers or 0)
+    if refine_workers < 0:
+        raise ValueError("refine_workers must be >= 0")
+    if refine_workers and not incremental:
+        raise ValueError(
+            "refine_workers requires the incremental engine "
+            "(incremental=True); the monolithic baseline stays serial")
+    if refine_workers:
+        from .parallel import ParallelSatCorrespondence as engine_cls
+    else:
+        engine_cls = SatCorrespondence
 
     start = time.monotonic()
     deadline = None if time_limit is None else start + time_limit
@@ -548,11 +572,12 @@ def check_equivalence_sat_sweep(spec, impl, match_inputs="name",
     totals = None
     while True:
         remaining = None if deadline is None else deadline - time.monotonic()
-        engine = SatCorrespondence(
+        extra = {"refine_workers": refine_workers} if refine_workers else {}
+        engine = engine_cls(
             _AugmentedProduct(product, working), seed=seed,
             sim_frames=sim_frames, sim_width=sim_width,
             time_limit=remaining, k=k, incremental=incremental,
-            progress=progress, cancel_check=cancel_check,
+            progress=progress, cancel_check=cancel_check, **extra,
         )
         try:
             classes, iterations = engine.compute(
@@ -574,7 +599,7 @@ def check_equivalence_sat_sweep(spec, impl, match_inputs="name",
                 iterations=total_iterations,
                 seconds=time.monotonic() - start,
                 details=_sat_details(classes, engine.k, retime_rounds,
-                                     totals),
+                                     totals, refine_workers),
             )
         if not use_retiming or retime_rounds >= max_retiming_rounds:
             break
@@ -588,7 +613,8 @@ def check_equivalence_sat_sweep(spec, impl, match_inputs="name",
         method="van_eijk_sat",
         iterations=total_iterations,
         seconds=time.monotonic() - start,
-        details=_sat_details(classes, k, retime_rounds, totals),
+        details=_sat_details(classes, k, retime_rounds, totals,
+                             refine_workers),
     )
 
 
@@ -620,13 +646,16 @@ def _outputs_proved_sat(product, classes):
     return True
 
 
-def _sat_details(classes, k, retime_rounds, solver_stats=None):
+def _sat_details(classes, k, retime_rounds, solver_stats=None,
+                 refine_workers=0):
     details = {
         "classes": len(classes),
         "functions": sum(len(c) for c in classes),
         "k": k,
         "retime_rounds": retime_rounds,
     }
+    if refine_workers:
+        details["refine_workers"] = refine_workers
     if solver_stats is not None:
         details["solver_stats"] = dict(solver_stats)
     return details

@@ -22,7 +22,7 @@ Findings are delta-debugged down to a minimal recipe
 (:func:`~repro.fuzz.shrink.shrink_recipe`) and persisted to the regression
 corpus (:mod:`repro.fuzz.corpus`), which the tier-1 suite re-runs.
 
-``result_hook`` is the test seam: it sees every (case, method, result)
+``result_hook`` is the test seam: it sees every (case, lane-label, result)
 triple before analysis and may return a doctored result, letting the test
 suite prove the detect→shrink→persist pipeline end to end without needing a
 live engine bug.
@@ -47,15 +47,20 @@ from .generate import FuzzCase, make_recipe
 from .replay import validate_refutation
 from .shrink import recipe_size, shrink_recipe
 
-#: The default battery: the paper's prover (both refinement backends — the
-#: BDD fixed point and the incremental SAT sweep must agree pair for pair),
-#: the complete falsifier, and the complete-but-expensive baseline.
-#: Budgets are sized for the small circuits the fuzzer generates.
+#: The default battery as ``(label, method, options)`` lanes: the paper's
+#: prover (both refinement backends — the BDD fixed point and the
+#: incremental SAT sweep must agree pair for pair, and the parallel
+#: refinement engine must agree with both), the complete falsifier, and the
+#: complete-but-expensive baseline.  Labels are unique so one method can run
+#: under several option sets; budgets are sized for the small circuits the
+#: fuzzer generates.
 DEFAULT_FUZZ_ENGINES = (
-    ("van_eijk", {}),
-    ("sat_sweep", {"sim_frames": 16, "sim_width": 16}),
-    ("bmc", {"max_depth": 12}),
-    ("traversal", {"max_iterations": 256}),
+    ("van_eijk", "van_eijk", {}),
+    ("sat_sweep", "sat_sweep", {"sim_frames": 16, "sim_width": 16}),
+    ("sat_sweep_par2", "sat_sweep",
+     {"sim_frames": 16, "sim_width": 16, "refine_workers": 2}),
+    ("bmc", "bmc", {"max_depth": 12}),
+    ("traversal", "traversal", {"max_iterations": 256}),
 )
 
 #: Multiplier decorrelating fuzzer seeds: run seed k, iteration i fuzzes
@@ -129,19 +134,35 @@ class FuzzReport:
 
 
 def _normalize_engines(engines):
-    """Accept a dict, a list of names, or (name, options) pairs."""
+    """Normalize to ``(label, method, options)`` lanes.
+
+    Accepts a dict (``{method: options}``), a list of method names (each
+    selecting *every* default lane of that method — ``"sat_sweep"`` brings
+    the serial and the parallel lane), ``(method, options)`` pairs (label =
+    method, the historical form) or full ``(label, method, options)``
+    triples.  Duplicate labels are rejected: the results dict is keyed by
+    label.
+    """
     if engines is None:
-        return [(m, dict(o)) for m, o in DEFAULT_FUZZ_ENGINES]
-    if isinstance(engines, dict):
-        return [(m, dict(o or {})) for m, o in engines.items()]
-    normalized = []
-    defaults = dict(DEFAULT_FUZZ_ENGINES)
-    for item in engines:
-        if isinstance(item, str):
-            normalized.append((item, dict(defaults.get(item, {}))))
-        else:
-            method, options = item
-            normalized.append((method, dict(options or {})))
+        normalized = [(lbl, m, dict(o)) for lbl, m, o in DEFAULT_FUZZ_ENGINES]
+    elif isinstance(engines, dict):
+        normalized = [(m, m, dict(o or {})) for m, o in engines.items()]
+    else:
+        normalized = []
+        for item in engines:
+            if isinstance(item, str):
+                matched = [(lbl, m, dict(o))
+                           for lbl, m, o in DEFAULT_FUZZ_ENGINES if m == item]
+                normalized.extend(matched or [(item, item, {})])
+            elif len(item) == 2:
+                method, options = item
+                normalized.append((method, method, dict(options or {})))
+            else:
+                label, method, options = item
+                normalized.append((label, method, dict(options or {})))
+    labels = [label for label, _, _ in normalized]
+    if len(set(labels)) != len(labels):
+        raise ValueError("duplicate engine lane labels: {}".format(labels))
     return normalized
 
 
@@ -195,7 +216,7 @@ class DifferentialFuzzer:
         deadline = None if time_budget is None else start + time_budget
         report = FuzzReport()
         self.bus.emit(FUZZ_STARTED, seed=self.seed, iterations=iterations,
-                      engines=[m for m, _ in self.engines],
+                      engines=[label for label, _, _ in self.engines],
                       workers=self.workers, time_budget=time_budget)
         for iteration in range(iterations):
             if deadline is not None and time.monotonic() > deadline:
@@ -263,19 +284,20 @@ class DifferentialFuzzer:
 
     def _run_engines(self, case, spec, impl, scheduler):
         jobs = [
-            JobSpec("{}:{}".format(case.case_id, method), spec, impl,
+            JobSpec("{}:{}".format(case.case_id, label), spec, impl,
                     method=method, options=options,
                     match_inputs="name", match_outputs="order",
-                    tags={"fuzz": True, "expected": case.expected})
-            for method, options in self.engines
+                    tags={"fuzz": True, "expected": case.expected,
+                          "lane": label})
+            for label, method, options in self.engines
         ]
         job_results = scheduler.run(jobs)
         results = {}
-        for (method, _), job_result in zip(self.engines, job_results):
+        for (label, _, _), job_result in zip(self.engines, job_results):
             result = job_result.result
             if self.result_hook is not None:
-                result = self.result_hook(case, method, result) or result
-            results[method] = result
+                result = self.result_hook(case, label, result) or result
+            results[label] = result
         return results
 
     # -- cross-checking -----------------------------------------------------
@@ -348,7 +370,7 @@ class DifferentialFuzzer:
                 "fuzzer_seed": self.seed,
                 "iteration": iteration,
                 "case": case.case_id,
-                "engines": [m for m, _ in self.engines],
+                "engines": [label for label, _, _ in self.engines],
             })
         path, written = save_entry(self.corpus_dir, entry)
         report.corpus_paths.append(path)

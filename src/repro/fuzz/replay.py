@@ -19,7 +19,7 @@ a SAT counterexample).
 * by engine tests, as a reusable assertion that a trace is real.
 """
 
-from ..netlist.simulate import single_eval
+from ..netlist.simulate import CompiledSim
 
 
 class ReplayReport:
@@ -63,7 +63,7 @@ class ReplayReport:
         return "ReplayReport(INVALID: {})".format(self.reason)
 
 
-def replay_trace(circuit, frames, input_map=None):
+def replay_trace(circuit, frames, input_map=None, sim=None):
     """Drive ``circuit`` from its initial state with explicit input vectors.
 
     ``frames`` is a list of ``{net: bool}`` dicts keyed by the *trace's*
@@ -72,25 +72,29 @@ def replay_trace(circuit, frames, input_map=None):
     replay as 0.  Returns ``(per_frame_outputs, missing)`` where
     ``per_frame_outputs[t]`` lists the circuit's output values (by output
     position) in frame ``t``.
+
+    ``sim`` lets callers reuse a :class:`CompiledSim` for ``circuit``
+    across many traces; one is built on the fly otherwise.
     """
-    state = circuit.initial_state()
-    per_frame = []
+    if sim is None:
+        sim = CompiledSim(circuit)
+    input_frames = []
     missing = 0
     for frame in frames:
         env = {}
         for net in circuit.inputs:
             source = input_map.get(net, net) if input_map else net
             if source in frame:
-                env[net] = bool(frame[source])
+                env[net] = int(bool(frame[source]))
             else:
-                env[net] = False
+                env[net] = 0
                 missing += 1
-        values = single_eval(circuit, env, state)
-        per_frame.append([bool(values[net]) for net in circuit.outputs])
-        state = {
-            name: values[reg.data_in]
-            for name, reg in circuit.registers.items()
-        }
+        input_frames.append(env)
+    replayed = sim.replay(circuit.initial_state(), input_frames)
+    per_frame = [
+        [bool(values[net]) for net in circuit.outputs]
+        for values in replayed
+    ]
     return per_frame, missing
 
 

@@ -3,6 +3,7 @@
 from .circuit import Circuit, Gate, GateType, Register, eval_gate
 from .product import ProductMachine, build_product, IMPL_PREFIX, SPEC_PREFIX
 from .simulate import (
+    CompiledSim,
     SequentialSimulator,
     bit_parallel_eval,
     next_state,
@@ -26,6 +27,7 @@ __all__ = [
     "build_product",
     "SPEC_PREFIX",
     "IMPL_PREFIX",
+    "CompiledSim",
     "SequentialSimulator",
     "bit_parallel_eval",
     "next_state",

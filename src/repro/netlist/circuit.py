@@ -110,6 +110,7 @@ class Circuit:
         self.gates = {}           # net name -> Gate
         self.registers = {}       # net name -> Register
         self._topo_cache = None
+        self.topo_computations = 0  # full topo sorts performed (perf assert)
 
     # -- construction ----------------------------------------------------
 
@@ -199,9 +200,16 @@ class Circuit:
         return fanout
 
     def topo_order(self):
-        """Gate names in topological order; raises on combinational cycles."""
+        """Gate names in topological order; raises on combinational cycles.
+
+        The sort is memoized: every mutator (``add_*``, ``remove_gate``,
+        ``replace_fanin``, ``set_register_input``) drops ``_topo_cache``, so
+        repeated frame evaluation pays for one sort per mutation epoch.
+        ``topo_computations`` counts actual sorts for perf assertions.
+        """
         if self._topo_cache is not None:
             return list(self._topo_cache)
+        self.topo_computations += 1
         order = []
         state = {}  # name -> 1 (visiting) | 2 (done)
         for root in self.gates:

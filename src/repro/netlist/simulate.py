@@ -20,6 +20,27 @@ def _mask(width):
     return (1 << width) - 1
 
 
+def _env_net_category(circuit, net):
+    """Category of a net an evaluator expected in ``env``.
+
+    Exhaustive on purpose: a net in *neither* set (possible when callers
+    hand-build env keys) must not be mislabelled as an input or register.
+    """
+    if net in circuit.inputs:
+        return "input"
+    if net in circuit.registers:
+        return "register"
+    return "undefined"
+
+
+def _missing_env_error(circuit, net):
+    return NetlistError(
+        "bit_parallel_eval: env is missing a value for {} net {!r}".format(
+            _env_net_category(circuit, net), net
+        )
+    )
+
+
 def bit_parallel_eval(circuit, env, width):
     """Evaluate all nets for one time frame.
 
@@ -34,12 +55,7 @@ def bit_parallel_eval(circuit, env, width):
         for net in circuit.registers:
             values[net] = env[net] & full
     except KeyError as exc:
-        raise NetlistError(
-            "bit_parallel_eval: env is missing a value for {} net {!r}".format(
-                "input" if exc.args[0] in circuit.inputs else "register",
-                exc.args[0],
-            )
-        ) from None
+        raise _missing_env_error(circuit, exc.args[0]) from None
     for name in circuit.topo_order():
         gate = circuit.gates[name]
         values[name] = _eval_words(gate.gtype, [values[f] for f in gate.fanins], full)
@@ -86,6 +102,159 @@ def next_state(circuit, values):
     return {name: values[reg.data_in] for name, reg in circuit.registers.items()}
 
 
+class CompiledSim:
+    """A compiled bit-parallel simulation kernel for one circuit.
+
+    ``bit_parallel_eval`` walks ``topo_order()`` and the gate dicts on every
+    frame; profiles of partition seeding and counterexample replay are
+    dominated by those per-gate dict lookups.  ``CompiledSim`` flattens the
+    structure once: the topological order and fanin lists are compiled into a
+    single Python function (one expression per gate over local variables)
+    that maps leaf words to the full frame valuation as a flat list.
+
+    Slot layout (``net_order``): primary inputs, then register outputs (both
+    in declaration order), then gates in topological order.  ``BUF`` and
+    constant gates compile to aliases — zero per-frame cost.
+
+    The kernel is semantics-identical to :func:`bit_parallel_eval` (pinned by
+    property tests); three-valued simulation is deliberately not compiled.
+    """
+
+    def __init__(self, circuit):
+        circuit.validate()
+        self.circuit = circuit
+        self.inputs = list(circuit.inputs)
+        self.registers = list(circuit.registers)
+        order = circuit.topo_order()
+        self.net_order = self.inputs + self.registers + order
+        self._index = {net: i for i, net in enumerate(self.net_order)}
+        self.next_state_slots = [
+            self._index[reg.data_in] for reg in circuit.registers.values()
+        ]
+        self._kernel = self._compile(order)
+
+    def index(self, net):
+        """Slot of ``net`` in the frame word list / ``net_order``."""
+        return self._index[net]
+
+    # -- code generation --------------------------------------------------
+
+    _OPS = {
+        GateType.AND: (" & ", ""),
+        GateType.NAND: (" & ", " ^ F"),
+        GateType.OR: (" | ", ""),
+        GateType.NOR: (" | ", " ^ F"),
+        GateType.XOR: (" ^ ", ""),
+        GateType.XNOR: (" ^ ", " ^ F"),
+    }
+
+    def _compile(self, order):
+        # One local name per leaf, one assignment per real gate; BUF/CONST
+        # outputs alias their source expression instead of emitting code.
+        names = {}
+        for i, net in enumerate(self.inputs):
+            names[net] = "i{}".format(i)
+        for i, net in enumerate(self.registers):
+            names[net] = "r{}".format(i)
+        lines = []
+        n_leaves = len(self.inputs) + len(self.registers)
+        if n_leaves:
+            leaf_names = [names[net] for net in self.inputs + self.registers]
+            lines.append(" {}{} = E".format(
+                ", ".join(leaf_names), "," if n_leaves == 1 else ""))
+        gates = self.circuit.gates
+        for j, net in enumerate(order):
+            gate = gates[net]
+            gtype = gate.gtype
+            if gtype is GateType.CONST0:
+                names[net] = "0"
+                continue
+            if gtype is GateType.CONST1:
+                names[net] = "F"
+                continue
+            operands = [names[f] for f in gate.fanins]
+            if gtype is GateType.BUF:
+                names[net] = operands[0]
+                continue
+            if gtype is GateType.NOT:
+                expr = "{} ^ F".format(operands[0])
+            else:
+                try:
+                    joiner, suffix = self._OPS[gtype]
+                except KeyError:
+                    raise NetlistError(
+                        "unknown gate type: {!r}".format(gtype)) from None
+                expr = joiner.join(operands)
+                if suffix:
+                    expr = "({}){}".format(expr, suffix) if len(operands) > 1 \
+                        else expr + suffix
+            name = "g{}".format(j)
+            names[net] = name
+            lines.append(" {} = {}".format(name, expr))
+        lines.append(" return [{}]".format(
+            ", ".join(names[net] for net in self.net_order)))
+        src = "def _kernel(E, F):\n" + "\n".join(lines or [" return []"])
+        namespace = {}
+        exec(compile(src, "<CompiledSim:{}>".format(self.circuit.name),
+                     "exec"), namespace)
+        return namespace["_kernel"]
+
+    # -- evaluation -------------------------------------------------------
+
+    def eval_words(self, leaves, full):
+        """One frame from pre-masked leaf words (inputs then registers)."""
+        return self._kernel(leaves, full)
+
+    def eval(self, env, width):
+        """Drop-in equivalent of ``bit_parallel_eval(circuit, env, width)``."""
+        full = _mask(width)
+        try:
+            leaves = [env[net] & full for net in self.inputs]
+            leaves += [env[net] & full for net in self.registers]
+        except KeyError as exc:
+            raise _missing_env_error(self.circuit, exc.args[0]) from None
+        return dict(zip(self.net_order, self._kernel(leaves, full)))
+
+    def next_state_words(self, words):
+        """Register next-state words from a frame's full word list."""
+        return [words[i] for i in self.next_state_slots]
+
+    def replay(self, initial_state, input_frames):
+        """Single-pattern replay; mirrors ``cexsplit.replay_pattern``.
+
+        ``initial_state`` maps register nets to 0/1; ``input_frames`` is one
+        ``{input: 0/1}`` dict per frame.  Returns the full 0/1 valuation dict
+        of every frame.
+        """
+        state = [int(bool(initial_state[net])) for net in self.registers]
+        frames = []
+        for inputs in input_frames:
+            leaves = [int(bool(inputs[net])) for net in self.inputs] + state
+            words = self._kernel(leaves, 1)
+            frames.append(dict(zip(self.net_order, words)))
+            state = [words[i] for i in self.next_state_slots]
+        return frames
+
+    def replay_words(self, state_words, input_frame_words, width):
+        """Multi-pattern replay over packed words.
+
+        ``state_words`` packs one bit per pattern for each register (in
+        ``self.registers`` order); ``input_frame_words`` is one word list per
+        frame (in ``self.inputs`` order).  Returns the full word list of
+        every frame — the parallel refinement engine replays *all* of a
+        round's counterexamples in one pass this way.
+        """
+        full = _mask(width)
+        state = [w & full for w in state_words]
+        frames = []
+        for inputs in input_frame_words:
+            leaves = [w & full for w in inputs] + state
+            words = self._kernel(leaves, full)
+            frames.append(words)
+            state = [words[i] for i in self.next_state_slots]
+        return frames
+
+
 class SequentialSimulator:
     """Runs a circuit from its initial state with random input patterns.
 
@@ -96,38 +265,50 @@ class SequentialSimulator:
     signal correspondence partition (§4 of the paper).
     """
 
-    def __init__(self, circuit, width=64, seed=2024):
-        circuit.validate()
+    def __init__(self, circuit, width=64, seed=2024, compiled=None):
+        self.sim = compiled if compiled is not None else CompiledSim(circuit)
         self.circuit = circuit
         self.width = width
         self.rng = random.Random(seed)
         full = _mask(width)
         init = circuit.initial_state()
-        self.state = {net: (full if init[net] else 0) for net in circuit.registers}
-        self.signatures = {net: 0 for net in circuit.signals()}
+        self._state_words = [
+            full if init[net] else 0 for net in self.sim.registers
+        ]
+        self._signature_words = [0] * len(self.sim.net_order)
         self.frames_run = 0
         self.first_frame_inputs = None
 
+    @property
+    def state(self):
+        """Current register words (``{register: word}``)."""
+        return dict(zip(self.sim.registers, self._state_words))
+
+    @property
+    def signatures(self):
+        """Per-net signatures (``{net: int}``) accumulated so far."""
+        return dict(zip(self.sim.net_order, self._signature_words))
+
     def step(self):
         """Advance one frame; returns the frame's full valuation."""
-        env = {
-            net: self.rng.getrandbits(self.width) for net in self.circuit.inputs
-        }
+        width = self.width
+        rng = self.rng
+        inputs = [rng.getrandbits(width) for _ in self.sim.inputs]
         if self.first_frame_inputs is None:
-            self.first_frame_inputs = dict(env)
-        env.update(self.state)
-        values = bit_parallel_eval(self.circuit, env, self.width)
-        for net, word in values.items():
-            self.signatures[net] = (self.signatures[net] << self.width) | word
-        self.state = next_state(self.circuit, values)
+            self.first_frame_inputs = dict(zip(self.sim.inputs, inputs))
+        words = self.sim.eval_words(inputs + self._state_words, _mask(width))
+        sigs = self._signature_words
+        for i, word in enumerate(words):
+            sigs[i] = (sigs[i] << width) | word
+        self._state_words = self.sim.next_state_words(words)
         self.frames_run += 1
-        return values
+        return dict(zip(self.sim.net_order, words))
 
     def run(self, frames):
         """Run ``frames`` frames; returns the signature map."""
         for _ in range(frames):
             self.step()
-        return dict(self.signatures)
+        return self.signatures
 
     def signature_bits(self):
         """Total number of signature bits accumulated so far."""

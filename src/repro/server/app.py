@@ -144,11 +144,15 @@ class VerifyServer:
                  rate=20.0, burst=40, request_timeout=10.0,
                  sse_heartbeat=10.0, sse_write_timeout=10.0,
                  poll_interval=0.02, history_limit=2000, bus=None,
-                 ready_file=None):
+                 ready_file=None, refine_workers=0):
         self.host = host
         self.port = port
         self.queue_limit = queue_limit
         self.retries = retries
+        # Daemon-wide default for sat_sweep jobs that don't pin their own
+        # refine_workers; becomes part of the job's cache key (a serial and
+        # a parallel run produce identical verdicts but different stats).
+        self.refine_workers = int(refine_workers or 0)
         self.request_timeout = request_timeout
         self.sse_heartbeat = sse_heartbeat
         self.sse_write_timeout = sse_write_timeout
@@ -317,6 +321,9 @@ class VerifyServer:
             except Exception as exc:
                 self._mark_error(record, "cannot build job: {!r}".format(exc))
                 continue
+            if (self.refine_workers and job.method == "sat_sweep"
+                    and "refine_workers" not in job.options):
+                job.options["refine_workers"] = self.refine_workers
             cached = (self.cache.get(job.cache_key())
                       if self.cache is not None else None)
             if cached is not None:

@@ -4,10 +4,20 @@ Start-method note: the service prefers ``fork`` (cheap on Linux, and it
 lets tests register extra engine methods that workers inherit); on
 platforms without it the default context is used, which requires job specs
 to be picklable — they are.
+
+:class:`ForkProcess` wraps a *raw* ``os.fork`` child in the same
+``is_alive``/``terminate``/``join``/``kill`` surface so
+:func:`terminate_gracefully` works on it too.  Raw fork is what the
+engine-level refinement pool (:mod:`repro.core.parallel`) needs: service
+workers are daemonic ``multiprocessing`` processes, and daemonic processes
+may not start ``multiprocessing`` children — but they may fork.
 """
 
+import errno
 import multiprocessing
+import os
 import queue as queue_mod
+import signal
 import time
 
 from .worker import worker_entry
@@ -30,6 +40,131 @@ def start_worker(ctx, job, token, event_queue, result_queue):
     )
     proc.start()
     return proc
+
+
+class ForkProcess:
+    """Process-like handle for a raw-``os.fork`` child.
+
+    Implements the subset of the ``multiprocessing.Process`` surface that
+    :func:`terminate_gracefully` relies on.  ``is_alive``/``join`` reap the
+    child with ``waitpid(WNOHANG)``, so a ``ForkProcess`` that has been
+    polled never leaves a zombie behind.
+    """
+
+    def __init__(self, pid):
+        self.pid = pid
+        self._exitcode = None
+
+    @property
+    def exitcode(self):
+        self.is_alive()
+        if self._exitcode is None:
+            return None
+        if os.WIFSIGNALED(self._exitcode):
+            return -os.WTERMSIG(self._exitcode)
+        return os.WEXITSTATUS(self._exitcode)
+
+    def is_alive(self):
+        if self._exitcode is not None:
+            return False
+        try:
+            pid, status = os.waitpid(self.pid, os.WNOHANG)
+        except ChildProcessError:
+            self._exitcode = 0  # reaped elsewhere; treat as finished
+            return False
+        if pid == 0:
+            return True
+        self._exitcode = status
+        return False
+
+    def _signal(self, signum):
+        if self._exitcode is not None:
+            return
+        try:
+            os.kill(self.pid, signum)
+        except (ProcessLookupError, PermissionError):
+            pass
+
+    def terminate(self):
+        self._signal(signal.SIGTERM)
+
+    def kill(self):
+        self._signal(signal.SIGKILL)
+
+    def join(self, timeout=None):
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self.is_alive():
+            if deadline is not None and time.monotonic() >= deadline:
+                return
+            time.sleep(0.005)
+
+
+def fork_worker(target, *args):
+    """Fork a child running ``target(*args)``; returns a :class:`ForkProcess`.
+
+    The child resets SIGTERM to the default handler, detaches any inherited
+    asyncio signal-wakeup fd (same hazard as ``worker_entry``), and leaves
+    through ``os._exit`` so no parent atexit/finally machinery runs twice.
+    """
+    pid = os.fork()
+    if pid == 0:
+        code = 1
+        try:
+            signal.signal(signal.SIGTERM, signal.SIG_DFL)
+            try:
+                signal.set_wakeup_fd(-1)
+            except (ValueError, OSError):  # pragma: no cover - non-main thread
+                pass
+            target(*args)
+            code = 0
+        except BaseException:  # pragma: no cover - child dies with its error
+            code = 1
+        finally:
+            os._exit(code)
+    return ForkProcess(pid)
+
+
+def write_framed(fd, payload):
+    """Write a 4-byte-length-prefixed frame, looping over partial writes."""
+    data = len(payload).to_bytes(4, "little") + payload
+    view = memoryview(data)
+    while view:
+        try:
+            n = os.write(fd, view)
+        except OSError as exc:  # pragma: no cover - EINTR on old kernels
+            if exc.errno == errno.EINTR:
+                continue
+            raise
+        view = view[n:]
+
+
+def read_framed(fd):
+    """Read one length-prefixed frame; returns ``None`` on clean EOF."""
+    header = _read_exact(fd, 4)
+    if header is None:
+        return None
+    length = int.from_bytes(header, "little")
+    payload = _read_exact(fd, length)
+    if payload is None:
+        raise EOFError("framed message truncated")
+    return payload
+
+
+def _read_exact(fd, n):
+    chunks = []
+    remaining = n
+    while remaining:
+        try:
+            chunk = os.read(fd, remaining)
+        except OSError as exc:  # pragma: no cover - EINTR on old kernels
+            if exc.errno == errno.EINTR:
+                continue
+            raise
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
 
 
 def drain_queue(q):

@@ -1,0 +1,208 @@
+"""Parallel refinement engine: identity with the serial fixed point.
+
+The whole value proposition of :class:`ParallelSatCorrespondence` is that
+fanning a round's class checks out over worker processes changes *nothing*
+observable but wall-clock time: same verdicts, same final partition, same
+fixed point — on random pairs, the Table-1 suite and the persisted fuzz
+corpus.  These tests also pin the resource model (1 master + N worker
+solver constructions), the per-round worker telemetry, and pool hygiene
+(no live children after ``compute()``, even on budget aborts).
+"""
+
+import os
+
+from hypothesis import given, settings, strategies as st
+import pytest
+
+from repro.circuits import row_by_name
+from repro.core import check_equivalence_sat_sweep
+from repro.core.parallel import ParallelSatCorrespondence, _assign_chunks
+from repro.core.satbackend import SatCorrespondence
+from repro.errors import ResourceBudgetExceeded
+from repro.fuzz.corpus import discover
+from repro.fuzz.generate import build_pair
+from repro.netlist import build_product
+from repro.transform import optimize
+
+from ..netlist.helpers import counter_circuit, random_sequential_circuit
+
+CORPUS_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "corpus")
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="parallel refinement requires fork")
+
+
+def product_for(seed):
+    spec = random_sequential_circuit(seed, n_inputs=2, n_regs=3, n_gates=8)
+    impl = optimize(spec, level=2, seed=seed + 1)
+    return build_product(spec, impl, match_outputs="order")
+
+
+def netsets(classes):
+    return {
+        frozenset((sig.net, sig.complemented) for sig in cls)
+        for cls in classes
+    }
+
+
+def suite_product(name):
+    spec, impl = row_by_name(name).pair()
+    return build_product(spec, impl, match_outputs="order")
+
+
+# ------------------------------------------------------------- construction
+
+
+def test_refine_workers_must_be_positive():
+    product = product_for(0)
+    with pytest.raises(ValueError, match=">= 1"):
+        ParallelSatCorrespondence(product, refine_workers=0)
+
+
+def test_parallel_engine_requires_incremental_mode():
+    product = product_for(0)
+    with pytest.raises(ValueError, match="incremental"):
+        ParallelSatCorrespondence(product, refine_workers=2,
+                                  incremental=False)
+
+
+def test_sweep_rejects_workers_on_monolithic_baseline():
+    spec = counter_circuit(3)
+    impl = optimize(spec, level=2, seed=1)
+    with pytest.raises(ValueError, match="incremental"):
+        check_equivalence_sat_sweep(spec, impl, match_outputs="order",
+                                    refine_workers=2, incremental=False)
+    with pytest.raises(ValueError, match=">= 0"):
+        check_equivalence_sat_sweep(spec, impl, match_outputs="order",
+                                    refine_workers=-1)
+
+
+def test_chunk_assignment_is_deterministic_and_balanced():
+    classes = [["a"], ["b"] * 5, ["c"] * 3, ["d"] * 3, ["e"] * 2]
+    chunks = _assign_chunks(classes, [1, 2, 3, 4], 2)
+    assert chunks == _assign_chunks(classes, [1, 2, 3, 4], 2)
+    assert sorted(cid for chunk in chunks for cid in chunk) == [1, 2, 3, 4]
+    # LPT: the size-5 class gets a worker to itself first; the two size-3
+    # classes land on the other; the size-2 joins the lighter load.
+    assert chunks == [[1, 4], [2, 3]]
+
+
+# ---------------------------------------------------------- identity checks
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=0, max_value=10 ** 6))
+def test_parallel_and_serial_partitions_identical(seed):
+    """The greatest fixed point is unique; worker count cannot move it."""
+    product = product_for(seed)
+    serial = SatCorrespondence(product, sim_frames=2, sim_width=1)
+    serial_classes, _ = serial.compute()
+    par = ParallelSatCorrespondence(product, refine_workers=2,
+                                    sim_frames=2, sim_width=1)
+    par_classes, _ = par.compute()
+    assert netsets(par_classes) == netsets(serial_classes)
+
+
+@pytest.mark.parametrize("name", ["s298", "s386"])
+def test_suite_verdicts_and_class_counts_agree(name):
+    spec, impl = row_by_name(name).pair()
+    serial = check_equivalence_sat_sweep(spec, impl, match_outputs="order")
+    par = check_equivalence_sat_sweep(spec, impl, match_outputs="order",
+                                      refine_workers=2)
+    assert par.equivalent == serial.equivalent
+    assert par.details["classes"] == serial.details["classes"]
+    assert par.details["refine_workers"] == 2
+    assert "refine_workers" not in serial.details
+
+
+@pytest.mark.parametrize("entry", discover(CORPUS_DIR), ids=lambda e: e.id)
+def test_corpus_verdicts_agree(entry):
+    spec, impl = build_pair(entry.recipe)
+    serial = check_equivalence_sat_sweep(spec, impl, match_outputs="order")
+    par = check_equivalence_sat_sweep(spec, impl, match_outputs="order",
+                                      refine_workers=2)
+    assert par.equivalent == serial.equivalent
+    assert par.details["classes"] == serial.details["classes"]
+
+
+# ----------------------------------------------------- resources / telemetry
+
+
+def test_pool_costs_one_construction_per_worker():
+    """1 master + N workers, each with exactly one frame encoding."""
+    product = suite_product("s298")
+    engine = ParallelSatCorrespondence(product, refine_workers=2,
+                                       sim_frames=2, sim_width=1)
+    engine.compute()
+    assert engine.stats["solver_constructions"] == 3
+    assert engine.stats["frame_encodings"] == 3
+    assert engine.stats["rounds"] >= 1
+
+
+def test_refinement_rounds_carry_worker_telemetry():
+    product = suite_product("s298")
+    events = []
+    engine = ParallelSatCorrespondence(
+        product, refine_workers=2, sim_frames=2, sim_width=1,
+        progress=lambda kind, **data: events.append((kind, data)))
+    engine.compute()
+    rounds = [data for kind, data in events if kind == "refinement_round"]
+    assert rounds
+    parallel_rounds = [data for data in rounds if data["workers"] == 2]
+    assert parallel_rounds, "no round actually fanned out"
+    for data in parallel_rounds:
+        assert len(data["worker_seconds"]) == 2
+        assert data["round_seconds"] > 0
+        assert data["speedup"] > 0
+        assert "sat_queries" in data and "classes" in data
+    # The pool is gone and reaped once the fixed point is reached.
+    assert engine._workers == []
+
+
+def test_low_fanout_rounds_stay_serial():
+    """Rounds under the fan-out threshold keep ``workers == 0`` — the pool
+    is never even spawned."""
+    spec = counter_circuit(2)
+    events = []
+    engine = ParallelSatCorrespondence(
+        build_product(spec, spec.copy(), match_outputs="order"),
+        refine_workers=2,
+        progress=lambda kind, **data: events.append((kind, data)))
+    engine.min_parallel_classes = 10 ** 9
+    engine.compute()
+    rounds = [data for kind, data in events if kind == "refinement_round"]
+    assert rounds
+    assert all(data["workers"] == 0 for data in rounds)
+    assert engine.stats["solver_constructions"] == 1
+
+
+def test_broken_pool_degrades_to_identical_serial_result():
+    product = suite_product("s298")
+    engine = ParallelSatCorrespondence(product, refine_workers=2,
+                                       sim_frames=2, sim_width=1)
+    engine._pool_broken = True
+    classes, _ = engine.compute()
+    baseline = SatCorrespondence(product, sim_frames=2, sim_width=1)
+    expected, _ = baseline.compute()
+    assert netsets(classes) == netsets(expected)
+    assert engine.stats["solver_constructions"] == 1
+
+
+def test_budget_abort_tears_the_pool_down():
+    product = suite_product("s298")
+    engine = ParallelSatCorrespondence(product, refine_workers=2,
+                                       sim_frames=2, sim_width=1,
+                                       time_limit=0.0)
+    with pytest.raises(ResourceBudgetExceeded):
+        engine.compute()
+    assert engine._workers == []
+
+
+def test_close_is_idempotent():
+    product = product_for(1)
+    engine = ParallelSatCorrespondence(product, refine_workers=2)
+    engine.compute()
+    engine.close()
+    engine.close()
+    assert engine._workers == []

@@ -162,4 +162,10 @@ def test_verdict_details_carry_solver_stats():
 
 
 def test_sat_sweep_in_default_fuzz_battery():
-    assert "sat_sweep" in [name for name, _ in DEFAULT_FUZZ_ENGINES]
+    lanes = {label: (method, options)
+             for label, method, options in DEFAULT_FUZZ_ENGINES}
+    assert lanes["sat_sweep"][0] == "sat_sweep"
+    # The battery also exercises the parallel refinement engine.
+    method, options = lanes["sat_sweep_par2"]
+    assert method == "sat_sweep"
+    assert options["refine_workers"] == 2

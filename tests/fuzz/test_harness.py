@@ -126,7 +126,22 @@ def test_same_seed_reruns_identically():
 
 def test_engine_list_shorthand_uses_default_budgets():
     fuzzer = DifferentialFuzzer(engines=["bmc"])
-    assert fuzzer.engines == [("bmc", {"max_depth": 12})]
+    assert fuzzer.engines == [("bmc", "bmc", {"max_depth": 12})]
+
+
+def test_engine_method_shorthand_selects_all_default_lanes():
+    fuzzer = DifferentialFuzzer(engines=["sat_sweep"])
+    labels = [label for label, _, _ in fuzzer.engines]
+    assert "sat_sweep" in labels and "sat_sweep_par2" in labels
+    lanes = {label: options for label, _, options in fuzzer.engines}
+    assert lanes["sat_sweep_par2"]["refine_workers"] == 2
+
+
+def test_duplicate_engine_labels_rejected():
+    import pytest
+
+    with pytest.raises(ValueError, match="duplicate"):
+        DifferentialFuzzer(engines=[("bmc", {}), ("bmc", "bmc", {})])
 
 
 def test_forked_workers_soak_the_service_stack(tmp_path):

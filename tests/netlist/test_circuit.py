@@ -93,6 +93,27 @@ def test_topo_order_respects_dependencies():
                 assert pos[fanin] < pos[name]
 
 
+def test_topo_order_is_memoized_until_mutation():
+    c = counter_circuit(4)
+    computed = c.topo_computations
+    first = c.topo_order()
+    # counter_circuit() validates, so the order may already be cached;
+    # either way, repeated queries must not sort again.
+    assert c.topo_computations == max(computed, 1)
+    after_first = c.topo_computations
+    for _ in range(5):
+        assert c.topo_order() == first
+    assert c.topo_computations == after_first
+    # The cache hands out copies, not the cached list itself.
+    first.append("tampered")
+    assert c.topo_order() != first
+    # Any structural mutation invalidates the cache exactly once.
+    c.add_gate("extra", GateType.NOT, ["en"])
+    c.topo_order()
+    c.topo_order()
+    assert c.topo_computations == after_first + 1
+
+
 def test_initial_state():
     c = Circuit()
     c.add_input("a")

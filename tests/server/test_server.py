@@ -109,6 +109,26 @@ def test_submit_suite_row_and_sse_stream(tmp_path):
         assert events[-1]["record"]["state"] == "done"
 
 
+def test_server_default_refine_workers_applied(tmp_path):
+    """A daemon started with ``refine_workers`` injects it into sat_sweep
+    jobs that don't pin their own value — visible in the verdict details."""
+    spec, impl = tiny_pair()
+    with ServerThread(store_dir=tmp_path, workers=1,
+                      refine_workers=2) as server:
+        client = client_for(server)
+        job_id = client.submit(spec, impl, name="tiny", method="sat_sweep")
+        record = client.wait(job_id, poll=0.05, timeout=60)
+        assert record["state"] == "done"
+        result = record["result"]["result"]
+        assert result["equivalent"] is True
+        assert result["details"]["refine_workers"] == 2
+        # Other methods are left alone.
+        other = client.submit(spec, impl, name="tiny-ve", method="van_eijk")
+        other_record = client.wait(other, poll=0.05, timeout=60)
+        assert other_record["state"] == "done"
+        assert other_record["result"]["result"]["equivalent"] is True
+
+
 def test_http_errors(tmp_path):
     with ServerThread(store_dir=tmp_path) as server:
         client = client_for(server)

@@ -62,6 +62,28 @@ def test_verify_sat_sweep_method(circuit_files, capsys):
     assert code == 0
 
 
+def test_verify_sat_sweep_refine_workers(circuit_files, capsys):
+    code = main(["verify", str(circuit_files["spec"]),
+                 str(circuit_files["impl"]), "--method", "sat_sweep",
+                 "--refine-workers", "2", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["equivalent"] is True
+    assert payload["details"]["refine_workers"] == 2
+
+
+def test_verify_profile_flag_writes_stats(circuit_files, tmp_path, capsys):
+    profile = tmp_path / "verify.prof"
+    code = main(["verify", str(circuit_files["spec"]),
+                 str(circuit_files["impl"]), "--method", "sat_sweep",
+                 "--profile", str(profile)])
+    assert code == 0
+    import pstats
+
+    stats = pstats.Stats(str(profile))
+    assert stats.total_calls > 0
+
+
 def test_verify_blif_input(circuit_files, capsys):
     code = main(["verify", str(circuit_files["blif"]),
                  str(circuit_files["impl"])])
@@ -167,6 +189,17 @@ def test_batch_json_mode(tmp_path, capsys):
     assert len(payload) == 1
     assert payload[0]["name"] == "s386"
     assert payload[0]["result"]["equivalent"] is True
+
+
+def test_batch_refine_workers_flag(tmp_path, capsys):
+    code = main(["batch", "--rows", "s386", "--workers", "0",
+                 "--method", "sat_sweep", "--refine-workers", "2",
+                 "--cache-dir", str(tmp_path / "cache"), "--json",
+                 "--time-limit", "120"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload[0]["result"]["equivalent"] is True
+    assert payload[0]["result"]["details"]["refine_workers"] == 2
 
 
 def test_table1_workers_flag(capsys):
