@@ -14,8 +14,10 @@ Standalone script (not a pytest-benchmark module), two sections:
 Wall-clock speedup from worker processes requires actual cores;
 ``cpu_count`` is recorded in the report and the 2x acceptance bar is only
 *enforced* when the host has at least as many cores as the largest worker
-count (on a single-core container the report is still written, with a
-warning — honest numbers over aspirational ones).
+count.  On an under-provisioned (e.g. single-core) container the report is
+still written, but every ``speedup_vs_serial`` field is null and the
+summary carries a ``speedup_skip_reason`` — honest numbers over
+aspirational ones.
 
 Usage::
 
@@ -80,7 +82,7 @@ def run_mode(spec, impl, workers, time_limit):
     }
 
 
-def bench_row(name, worker_counts, time_limit):
+def bench_row(name, worker_counts, time_limit, measure_speedup=True):
     spec, impl = row_by_name(name).pair()
     modes = [run_mode(spec, impl, w, time_limit) for w in worker_counts]
     baseline = modes[0]
@@ -95,8 +97,11 @@ def bench_row(name, worker_counts, time_limit):
                 "{}: class-count mismatch at workers={} ({} vs {})".format(
                     name, mode["workers"], mode["classes"],
                     baseline["classes"]))
+        # On an under-provisioned host the wall-clock ratio measures
+        # scheduler contention, not the engine; record null, not noise.
         mode["speedup_vs_serial"] = round(
-            baseline["seconds"] / max(mode["seconds"], 1e-9), 2)
+            baseline["seconds"] / max(mode["seconds"], 1e-9), 2
+        ) if measure_speedup else None
     return {
         "circuit": name,
         "regs": "{}/{}".format(spec.num_registers, impl.num_registers),
@@ -154,23 +159,29 @@ def main(argv=None):
     names = select_rows(args.rows)
     cores = os.cpu_count() or 1
     max_workers = max(worker_counts)
-    if cores < max_workers:
-        print("WARNING: {} core(s) < {} workers — wall-clock speedup is not "
-              "achievable on this host; verdict identity is still checked "
-              "and per-round telemetry recorded".format(cores, max_workers),
+    measure_speedup = cores >= max_workers
+    speedup_skip_reason = None
+    if not measure_speedup:
+        speedup_skip_reason = (
+            "host has {} core(s) < {} workers; wall-clock speedup is "
+            "meaningless here, so the speedup bar is skipped and "
+            "speedup_vs_serial recorded as null".format(cores, max_workers))
+        print("WARNING: " + speedup_skip_reason + " (verdict identity is "
+              "still checked and per-round telemetry recorded)",
               file=sys.stderr)
 
     rows = []
     for name in names:
         print("== {}".format(name), flush=True)
-        row = bench_row(name, worker_counts, args.time_limit)
+        row = bench_row(name, worker_counts, args.time_limit,
+                        measure_speedup=measure_speedup)
         for mode in row["modes"]:
             print("   workers={:<2d} {:>8.3f}s  classes={:<4} rounds={} "
                   "constructions={}{}".format(
                       mode["workers"], mode["seconds"], mode["classes"],
                       mode["rounds"], mode["solver_constructions"],
                       "  ({}x vs serial)".format(mode["speedup_vs_serial"])
-                      if "speedup_vs_serial" in mode else ""),
+                      if mode.get("speedup_vs_serial") is not None else ""),
                   flush=True)
         rows.append(row)
 
@@ -189,7 +200,8 @@ def main(argv=None):
             if m["workers"] == w), 4)
         best[str(w)] = {
             "seconds": total,
-            "speedup_vs_serial": round(serial_total / max(total, 1e-9), 2),
+            "speedup_vs_serial": round(serial_total / max(total, 1e-9), 2)
+            if measure_speedup else None,
         }
     min_kernel_ratio = min(e["throughput_ratio"] for e in kernel)
     summary = {
@@ -198,6 +210,8 @@ def main(argv=None):
         "worker_counts": worker_counts,
         "serial_seconds": serial_total,
         "parallel": best,
+        "speedup_bar_enforced": measure_speedup,
+        "speedup_skip_reason": speedup_skip_reason,
         "min_kernel_throughput_ratio": min_kernel_ratio,
         "verdicts_identical": True,  # bench_row raises otherwise
     }
@@ -209,8 +223,11 @@ def main(argv=None):
 
     print("\nSerial total {}s; parallel: {}; min kernel ratio {}x; wrote {}"
           .format(serial_total,
-                  ", ".join("{}w={}s ({}x)".format(
-                      w, best[w]["seconds"], best[w]["speedup_vs_serial"])
+                  ", ".join("{}w={}s ({})".format(
+                      w, best[w]["seconds"],
+                      "{}x".format(best[w]["speedup_vs_serial"])
+                      if best[w]["speedup_vs_serial"] is not None
+                      else "speedup skipped")
                       for w in sorted(best)) or "n/a",
                   min_kernel_ratio, args.out), flush=True)
 
@@ -219,12 +236,12 @@ def main(argv=None):
         print("WARNING: kernel throughput ratio {}x below the 3x bar".format(
             min_kernel_ratio), file=sys.stderr)
         failed = True
-    wall_bar = max((b["speedup_vs_serial"] for b in best.values()),
-                   default=None)
-    if best and cores >= max_workers and wall_bar < 2.0:
-        print("WARNING: best wall-clock speedup {}x below the 2x bar".format(
-            wall_bar), file=sys.stderr)
-        failed = True
+    if best and measure_speedup:
+        wall_bar = max(b["speedup_vs_serial"] for b in best.values())
+        if wall_bar < 2.0:
+            print("WARNING: best wall-clock speedup {}x below the 2x bar"
+                  .format(wall_bar), file=sys.stderr)
+            failed = True
     return 1 if failed else 0
 
 

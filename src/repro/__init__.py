@@ -32,10 +32,12 @@ from .errors import (
 from .netlist import Circuit, GateType, build_product
 from .reach import CexTrace, SecResult
 from .core import VanEijkVerifier, check_equivalence_sat_sweep
+from .induction import KInductionEngine, check_equivalence_k_induction
 
 __version__ = "1.0.0"
 
-METHODS = ("van_eijk", "traversal", "sat_sweep", "bmc", "explicit")
+METHODS = ("van_eijk", "traversal", "sat_sweep", "k_induction",
+           "sweep_induct", "bmc", "explicit")
 
 
 def verify(spec, impl, method="van_eijk", match_inputs="name",
@@ -50,6 +52,12 @@ def verify(spec, impl, method="van_eijk", match_inputs="name",
       options are those of
       :func:`~repro.reach.check_equivalence_traversal`.
     * ``"sat_sweep"`` — the SAT-backed signal correspondence (§6).
+    * ``"k_induction"`` — temporal induction over the product miter:
+      proves what the fixed point cannot, without traversal; options are
+      :class:`~repro.induction.KInductionEngine` parameters.
+    * ``"sweep_induct"`` — SAT correspondence first; an inconclusive fixed
+      point hands its partition to k-induction as a strengthening
+      invariant instead of falling back to traversal.
     * ``"bmc"`` — bounded model checking: a complete *refuter* up to a
       depth bound (shortest counterexamples); it never proves.
     * ``"explicit"`` — explicit-state oracle (tiny circuits only).
@@ -62,6 +70,20 @@ def verify(spec, impl, method="van_eijk", match_inputs="name",
                                match_outputs=match_outputs)
     if method == "sat_sweep":
         return check_equivalence_sat_sweep(
+            spec, impl, match_inputs=match_inputs,
+            match_outputs=match_outputs, **options
+        )
+    if method == "k_induction":
+        from .induction import check_equivalence_k_induction
+
+        return check_equivalence_k_induction(
+            spec, impl, match_inputs=match_inputs,
+            match_outputs=match_outputs, **options
+        )
+    if method == "sweep_induct":
+        from .induction import check_equivalence_sweep_induction
+
+        return check_equivalence_sweep_induction(
             spec, impl, match_inputs=match_inputs,
             match_outputs=match_outputs, **options
         )
@@ -89,6 +111,7 @@ __all__ = [
     "CexTrace",
     "Circuit",
     "GateType",
+    "KInductionEngine",
     "METHODS",
     "NetlistError",
     "NodeLimitExceeded",
@@ -101,6 +124,7 @@ __all__ = [
     "VanEijkVerifier",
     "VerificationError",
     "build_product",
+    "check_equivalence_k_induction",
     "check_equivalence_sat_sweep",
     "verify",
 ]

@@ -10,6 +10,7 @@ from .paper_example import (
     mod3_counter_pair,
     onehot_ring_pair,
 )
+from .induction_hard import onehot_chain_pair
 from .generators import (
     add_control_fsm,
     add_counter,
@@ -38,6 +39,7 @@ __all__ = [
     "fig3_spec",
     "generate_benchmark",
     "mod3_counter_pair",
+    "onehot_chain_pair",
     "onehot_ring_pair",
     "row_by_name",
     "table1_suite",

@@ -1,0 +1,58 @@
+"""Induction stress pairs: correspondence-inconclusive, induction-provable.
+
+:func:`onehot_chain_pair` composes the §6 one-hot ring witness with a pair
+of duplicated register chains fed by the same input.  The ring keeps the
+pair out of signal correspondence's reach (one-hotness is not a conjunction
+of signal equivalences), while the chains control the *induction depth*:
+
+* plain k-induction must unroll until the simple-path constraints exclude a
+  phantom mismatch shifting down the duplicated chains — proof depth grows
+  with the chain length ``m``;
+* with the correspondence partition as a strengthening invariant the
+  chain-stage equalities ``x_i == y_i`` are 1-inductive as a set, the
+  phantom paths vanish, and the proof depth collapses to the ring's
+  simple-path diameter (3).
+
+This is the benchmark family demonstrating that partition strengthening
+lowers the proof depth, not just the solver effort.
+"""
+
+from ..netlist.circuit import Circuit, GateType
+
+
+def onehot_chain_pair(m=6):
+    """A one-hot ring composed with duplicated ``m``-stage shift chains.
+
+    The specification outputs constant 1.  The implementation outputs
+    ``¬(a·b) AND (x_m == y_m)`` where (a, b, c) is the free-running one-hot
+    ring and ``x_1..x_m`` / ``y_1..y_m`` are two copies of a shift chain
+    loading the shared input ``w`` — reachable-state equivalent, but
+    inconclusive for the bare correspondence fixed point.
+    """
+    if m < 1:
+        raise ValueError("chain length m must be >= 1")
+    spec = Circuit("chain_spec")
+    spec.add_input("w")
+    spec.add_gate("one", GateType.CONST1, [])
+    spec.add_output("one")
+    spec.validate()
+
+    impl = Circuit("chain_impl")
+    impl.add_input("w")
+    for reg, src, init in (("a", "c", True), ("b", "a", False),
+                           ("c", "b", False)):
+        impl.add_register(reg, src, init=init)
+    impl.add_gate("g", GateType.AND, ["a", "b"])
+    impl.add_gate("ring_ok", GateType.NOT, ["g"])
+    for prefix in ("x", "y"):
+        prev = "w"
+        for i in range(1, m + 1):
+            name = "{}{}".format(prefix, i)
+            impl.add_register(name, prev, init=False)
+            prev = name
+    impl.add_gate("tails_eq", GateType.XNOR,
+                  ["x{}".format(m), "y{}".format(m)])
+    impl.add_gate("out", GateType.AND, ["ring_ok", "tails_eq"])
+    impl.add_output("out")
+    impl.validate()
+    return spec, impl

@@ -57,13 +57,39 @@ def _result_exit_code(result):
 
 
 #: Engines whose check functions accept the service-layer ``progress`` hook.
-_PROGRESS_METHODS = ("van_eijk", "sat_sweep", "bmc", "traversal")
+_PROGRESS_METHODS = ("van_eijk", "sat_sweep", "bmc", "traversal",
+                     "k_induction", "sweep_induct")
+
+#: CLI spellings accepted by ``--engine`` beyond the canonical METHODS names.
+_ENGINE_ALIASES = {
+    "induction": "k_induction",
+    "sat_sweep+induction": "sweep_induct",
+    "sat_sweep_induction": "sweep_induct",
+}
+
+
+def _resolve_engine(name):
+    """Map an ``--engine`` spelling to a METHODS entry, or raise ValueError
+    with a message listing every valid engine name."""
+    normalized = name.strip().lower().replace("-", "_")
+    normalized = _ENGINE_ALIASES.get(normalized, normalized)
+    if normalized in METHODS:
+        return normalized
+    raise ValueError(
+        "unknown engine {!r}; valid engines: {}".format(
+            name, ", ".join(METHODS)))
 
 
 def _cmd_verify(args):
     from .service import EventBus, JsonlEventWriter, LiveRenderer
     from .service.events import JOB_PROGRESS
 
+    if args.engine:
+        try:
+            args.method = _resolve_engine(args.engine)
+        except ValueError as exc:
+            print("error: {}".format(exc), file=sys.stderr)
+            return 2
     spec = _load_circuit(args.spec)
     impl = _load_circuit(args.impl)
     bus = EventBus()
@@ -117,6 +143,13 @@ def _cmd_verify(args):
                     options["node_limit"] = args.node_limit
             elif args.method == "bmc":
                 options["max_depth"] = args.max_depth
+                if args.time_limit:
+                    options["time_limit"] = args.time_limit
+            elif args.method in ("k_induction", "sweep_induct"):
+                options["max_depth"] = args.max_depth
+                options["strengthen"] = not args.no_strengthen
+                if args.method == "sweep_induct":
+                    options["fallback"] = not args.no_fallback
                 if args.time_limit:
                     options["time_limit"] = args.time_limit
             if args.method in _PROGRESS_METHODS and (args.verbose
@@ -192,6 +225,7 @@ def _cmd_batch(args):
             bus=bus,
             retries=args.retries,
             fallback_method=args.fallback,
+            no_fallback=args.no_fallback,
             job_time_limit=args.time_limit,
             total_time_limit=args.total_time_limit,
             node_limit=args.node_limit,
@@ -536,9 +570,13 @@ def build_parser():
     p_verify.add_argument("spec")
     p_verify.add_argument("impl")
     p_verify.add_argument("--method", choices=METHODS, default="van_eijk")
+    p_verify.add_argument("--engine", metavar="NAME",
+                          help="engine to run (accepts spellings like "
+                               "'k-induction'); overrides --method and "
+                               "rejects unknown names with the valid list")
     p_verify.add_argument("--portfolio", action="store_true",
-                          help="race van_eijk/bmc/traversal in parallel; "
-                               "first conclusive verdict wins")
+                          help="race van_eijk/k_induction/bmc/traversal in "
+                               "parallel; first conclusive verdict wins")
     p_verify.add_argument("--json", action="store_true",
                           help="print the machine-readable verdict/stats "
                                "dict instead of text")
@@ -563,11 +601,19 @@ def build_parser():
     p_verify.add_argument("--profile", metavar="FILE",
                           help="profile the verification with cProfile and "
                                "dump pstats data to FILE")
+    p_verify.add_argument("--no-strengthen", action="store_true",
+                          help="k_induction/sweep_induct only: plain "
+                               "k-induction without partition invariants")
+    p_verify.add_argument("--no-fallback", action="store_true",
+                          help="sweep_induct only: fail fast on an "
+                               "inconclusive fixed point instead of "
+                               "handing its partition to induction")
     p_verify.add_argument("--reach-bound", choices=["approx", "exact"])
     p_verify.add_argument("--time-limit", type=float)
     p_verify.add_argument("--node-limit", type=int)
     p_verify.add_argument("--max-depth", type=int, default=32,
-                          help="BMC unrolling bound")
+                          help="BMC unrolling bound / maximum induction "
+                               "depth")
     p_verify.set_defaults(func=_cmd_verify)
 
     p_batch = sub.add_parser(
@@ -595,7 +641,10 @@ def build_parser():
                          help="retries per job after a worker crash")
     p_batch.add_argument("--fallback", choices=METHODS,
                          help="method to rerun inconclusive jobs with "
-                              "(e.g. bmc)")
+                              "(e.g. k_induction or bmc)")
+    p_batch.add_argument("--no-fallback", action="store_true",
+                         help="fail fast: keep inconclusive verdicts "
+                              "instead of rerunning on --fallback")
     p_batch.add_argument("--cache-dir", default=".repro-cache")
     p_batch.add_argument("--no-cache", action="store_true")
     p_batch.add_argument("--events", metavar="FILE",
@@ -623,8 +672,8 @@ def build_parser():
     p_fuzz.add_argument("--workers", type=int, default=0,
                         help="scheduler worker processes (0 = inline)")
     p_fuzz.add_argument("--engines", nargs="+", choices=METHODS,
-                        help="engine battery (default: van_eijk bmc "
-                             "traversal)")
+                        help="engine battery (default: van_eijk sat_sweep "
+                             "bmc k_induction traversal)")
     p_fuzz.add_argument("--time-limit", type=float,
                         help="per-engine-job time budget (seconds)")
     p_fuzz.add_argument("--cache-dir",

@@ -5,6 +5,7 @@ from .render import fmt_any, render_ablation, render_table1
 from .ablations import (
     ablation_backends,
     ablation_fundep,
+    ablation_induction,
     ablation_opt_level,
     ablation_reach_bound,
     ablation_retiming,
@@ -15,6 +16,7 @@ __all__ = [
     "Table1Result",
     "ablation_backends",
     "ablation_fundep",
+    "ablation_induction",
     "ablation_opt_level",
     "ablation_reach_bound",
     "ablation_retiming",

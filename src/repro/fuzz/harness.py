@@ -60,6 +60,8 @@ DEFAULT_FUZZ_ENGINES = (
     ("sat_sweep_par2", "sat_sweep",
      {"sim_frames": 16, "sim_width": 16, "refine_workers": 2}),
     ("bmc", "bmc", {"max_depth": 12}),
+    ("k_induction", "k_induction",
+     {"max_depth": 10, "sim_frames": 16, "sim_width": 16}),
     ("traversal", "traversal", {"max_iterations": 256}),
 )
 

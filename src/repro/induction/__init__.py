@@ -1,0 +1,35 @@
+"""Temporal induction: k-induction over the product miter.
+
+The third proof engine, complementing the correspondence fixed point
+(sound, incomplete) and symbolic traversal (complete, expensive):
+k-induction with simple-path constraints, optionally strengthened by a
+correspondence partition.  See :mod:`repro.induction.engine` for the
+formulation and the soundness argument.
+"""
+
+from .engine import (
+    INDUCTION_FALLBACK,
+    KInductionEngine,
+    check_equivalence_k_induction,
+    check_equivalence_sweep_induction,
+)
+from .invariant import (
+    Candidate,
+    InvariantSet,
+    candidates_from_classes,
+    candidates_from_simulation,
+)
+from .schedule import DepthSchedule, PROGRESS_INDUCTION_ROUND
+
+__all__ = [
+    "Candidate",
+    "DepthSchedule",
+    "INDUCTION_FALLBACK",
+    "InvariantSet",
+    "KInductionEngine",
+    "PROGRESS_INDUCTION_ROUND",
+    "candidates_from_classes",
+    "candidates_from_simulation",
+    "check_equivalence_k_induction",
+    "check_equivalence_sweep_induction",
+]

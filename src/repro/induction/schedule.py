@@ -1,0 +1,94 @@
+"""Depth scheduling and budgets for the k-induction engine.
+
+A :class:`DepthSchedule` owns everything about *when* the engine is allowed
+to keep going: the depth sequence itself (``start_depth``/``step``/
+``max_depth``), the wall-clock deadline, an optional clause ("node") budget
+on the growing CNF, and the cooperative ``cancel_check`` polled between
+SAT queries.  It also carries the ``progress`` hook and stamps every
+``induction_round`` event with a monotonically increasing round counter, so
+the engine proper never touches a clock or an event bus directly.
+"""
+
+import time
+
+from ..errors import ResourceBudgetExceeded
+
+#: Event kind emitted once per completed induction depth.
+PROGRESS_INDUCTION_ROUND = "induction_round"
+
+
+class DepthSchedule:
+    """The depth sequence plus the budgets that may cut it short.
+
+    ``max_depth`` is the largest induction depth attempted (inclusive).
+    ``clause_limit`` bounds the size of the incremental CNF — the analogue
+    of the BDD engines' node budgets.  ``cancel_check`` is polled by
+    :meth:`check`; returning true aborts with
+    :class:`~repro.errors.ResourceBudgetExceeded`, which the engine maps to
+    an inconclusive result exactly like the other engines do.
+    """
+
+    def __init__(self, max_depth=16, start_depth=1, step=1, time_limit=None,
+                 clause_limit=None, cancel_check=None, progress=None):
+        if max_depth < 0:
+            raise ValueError("max_depth must be >= 0")
+        if start_depth < 1:
+            raise ValueError("start_depth must be >= 1")
+        if step < 1:
+            raise ValueError("step must be >= 1")
+        self.max_depth = max_depth
+        self.start_depth = start_depth
+        self.step = step
+        self.time_limit = time_limit
+        self.clause_limit = clause_limit
+        self.cancel_check = cancel_check
+        self.progress = progress
+        self.rounds = 0
+        self._started = None
+        self._deadline = None
+
+    def start(self):
+        """Arm the wall-clock budget; called once per engine run."""
+        self._started = time.monotonic()
+        self._deadline = (None if self.time_limit is None
+                          else self._started + self.time_limit)
+        return self
+
+    def elapsed(self):
+        if self._started is None:
+            return 0.0
+        return time.monotonic() - self._started
+
+    def depths(self):
+        """Yield the induction depths to attempt, checking budgets between."""
+        if self._started is None:
+            self.start()
+        depth = self.start_depth
+        while depth <= self.max_depth:
+            self.check()
+            yield depth
+            depth += self.step
+
+    __iter__ = depths
+
+    def check(self, clauses=None):
+        """Raise :class:`ResourceBudgetExceeded` if any budget is spent."""
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            raise ResourceBudgetExceeded("induction time budget exhausted")
+        if self.cancel_check is not None and self.cancel_check():
+            raise ResourceBudgetExceeded("cancelled")
+        if (self.clause_limit is not None and clauses is not None
+                and clauses > self.clause_limit):
+            raise ResourceBudgetExceeded(
+                "induction clause budget exhausted ({} > {})".format(
+                    clauses, self.clause_limit))
+
+    def emit_round(self, depth, **data):
+        """Publish one ``induction_round`` progress event."""
+        self.rounds += 1
+        if self.progress is not None:
+            self.progress(PROGRESS_INDUCTION_ROUND, depth=depth,
+                          round=self.rounds, **data)
+
+
+__all__ = ["DepthSchedule", "PROGRESS_INDUCTION_ROUND"]

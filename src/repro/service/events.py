@@ -27,6 +27,13 @@ JOB_FINISHED = "job_finished"
 JOB_CACHED = "job_cached"
 JOB_RETRY = "job_retry"
 JOB_FALLBACK = "job_fallback"
+# An inconclusive primary verdict handing the job to its fallback engine,
+# with the losing engine and the reason spelled out (JOB_FALLBACK only
+# carries the methods; this one says *why*).
+ENGINE_FALLBACK = "engine_fallback"
+# The combined sat_sweep+induction mode handing an inconclusive fixed
+# point's partition to the k-induction engine instead of traversal.
+INDUCTION_FALLBACK = "induction_fallback"
 PORTFOLIO_STARTED = "portfolio_started"
 ENGINE_STARTED = "engine_started"
 ENGINE_FINISHED = "engine_finished"
@@ -41,6 +48,9 @@ PROGRESS_ITERATION = "iteration"
 PROGRESS_INITIAL_SPLIT = "initial_split"
 PROGRESS_REFINEMENT_ROUND = "refinement_round"
 PROGRESS_RETIMING_ROUND = "retiming_round"
+# Per-depth ticks of the k-induction engine (depth, clause counts, candidate
+# counts and solver stats).
+PROGRESS_INDUCTION_ROUND = "induction_round"
 FUZZ_STARTED = "fuzz_started"
 FUZZ_CASE_FINISHED = "fuzz_case_finished"
 FUZZ_DISAGREEMENT = "fuzz_disagreement"

@@ -1,10 +1,12 @@
 """Portfolio verification: race complementary engines on one pair.
 
-The three default lanes cover each other's blind spots, the hybrid-engine
+The four default lanes cover each other's blind spots, the hybrid-engine
 insight from the parallel-CEC literature applied to van Eijk's setting:
 
 * ``van_eijk`` — the paper's prover: fast on retimed/resynthesized pairs,
   cannot refute beyond what its random simulation happens to hit;
+* ``k_induction`` — temporal induction: proves correspondence-inconclusive
+  pairs without traversal and refutes through its base case;
 * ``bmc`` — a complete falsifier up to a depth bound: finds shortest
   counterexamples that simulation misses, never proves;
 * ``traversal`` — the complete-but-expensive baseline: decides anything
@@ -41,7 +43,7 @@ from .events import (
 from .job import JobResult, JobSpec, aborted_result
 from .procs import drain_queue, get_context, start_worker, terminate_gracefully
 
-DEFAULT_PORTFOLIO_METHODS = ("van_eijk", "bmc", "traversal")
+DEFAULT_PORTFOLIO_METHODS = ("van_eijk", "k_induction", "bmc", "traversal")
 
 _POLL_INTERVAL = 0.05
 

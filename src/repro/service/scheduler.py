@@ -29,6 +29,7 @@ from .cache import ResultCache  # noqa: F401  (re-exported convenience)
 from .events import (
     BATCH_FINISHED,
     BATCH_STARTED,
+    ENGINE_FALLBACK,
     Event,
     EventBus,
     JOB_CACHED,
@@ -45,7 +46,8 @@ from .worker import run_job
 _POLL_INTERVAL = 0.05
 
 # Engines whose option dicts accept a time budget (job_time_limit seeding).
-_TIMED_METHODS = ("van_eijk", "traversal", "bmc", "sat_sweep")
+_TIMED_METHODS = ("van_eijk", "traversal", "bmc", "sat_sweep",
+                  "k_induction", "sweep_induct")
 
 
 class BatchScheduler:
@@ -53,14 +55,17 @@ class BatchScheduler:
 
     def __init__(self, workers=2, cache=None, bus=None, retries=1,
                  fallback_method=None, fallback_options=None,
-                 job_time_limit=None, total_time_limit=None,
-                 node_limit=None, grace=2.0):
+                 no_fallback=False, job_time_limit=None,
+                 total_time_limit=None, node_limit=None, grace=2.0):
         self.workers = workers
         self.cache = cache
         self.bus = bus or EventBus()
         self.retries = retries
         self.fallback_method = fallback_method
         self.fallback_options = dict(fallback_options or {})
+        #: Fail fast: finalize inconclusive verdicts as-is instead of
+        #: resubmitting on the fallback engine (overrides fallback_method).
+        self.no_fallback = no_fallback
         self.job_time_limit = job_time_limit
         self.total_time_limit = total_time_limit
         self.node_limit = node_limit
@@ -203,6 +208,7 @@ class BatchScheduler:
         """Record a finished engine run; may queue a fallback attempt."""
         job = attempt.job
         if (result.inconclusive and not attempt.is_fallback
+                and not self.no_fallback
                 and self.fallback_method is not None
                 and job.method != self.fallback_method):
             fallback_job = JobSpec(
@@ -214,6 +220,10 @@ class BatchScheduler:
             self.bus.emit(JOB_FALLBACK, job=job.name, index=attempt.index,
                           method=self.fallback_method,
                           primary_method=job.method)
+            self.bus.emit(ENGINE_FALLBACK, job=job.name, index=attempt.index,
+                          engine=job.method, fallback=self.fallback_method,
+                          reason=result.details.get("aborted",
+                                                    "inconclusive"))
             pending.append(_Attempt(attempt.index, self._budgeted(fallback_job),
                                     is_fallback=True,
                                     primary_result=result,

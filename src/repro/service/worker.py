@@ -29,7 +29,7 @@ from .events import JOB_PROGRESS, Event
 from .job import JobResult, aborted_result
 
 #: name -> runner(job, progress, cancel_check) for engines beyond the
-#: built-in five (used by tests and downstream extensions).
+#: built-ins (used by tests and downstream extensions).
 _EXTRA_METHODS = {}
 
 
@@ -73,6 +73,20 @@ def run_job(job, emit=None, cancel_check=None):
         from ..core.satbackend import check_equivalence_sat_sweep
 
         return check_equivalence_sat_sweep(
+            job.spec, job.impl, match_inputs=job.match_inputs,
+            match_outputs=job.match_outputs, progress=progress,
+            cancel_check=cancel_check, **options)
+    if job.method == "k_induction":
+        from ..induction import check_equivalence_k_induction
+
+        return check_equivalence_k_induction(
+            job.spec, job.impl, match_inputs=job.match_inputs,
+            match_outputs=job.match_outputs, progress=progress,
+            cancel_check=cancel_check, **options)
+    if job.method == "sweep_induct":
+        from ..induction import check_equivalence_sweep_induction
+
+        return check_equivalence_sweep_induction(
             job.spec, job.impl, match_inputs=job.match_inputs,
             match_outputs=job.match_outputs, progress=progress,
             cancel_check=cancel_check, **options)

@@ -134,6 +134,58 @@ def test_budget_abort_leaves_solver_reusable(seed):
             )
 
 
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=10 ** 6))
+def test_simplify_after_retraction_preserves_verdicts(seed):
+    """``simplify()`` after unit-clause retraction never changes answers.
+
+    The k-induction engine retires candidate-invariant groups mid-run with
+    ``add_clause([-act])`` + ``simplify()`` and keeps querying the same
+    solver under assumptions.  Property: for any mix of plain and guarded
+    random clauses, any retired subset of the guards, the simplified
+    incremental solver's verdict on any later assumption query (including
+    queries re-assuming live *and* retired guards) equals a fresh solver
+    handed the accumulated CNF.
+    """
+    rng = random.Random(seed)
+    n_guards = rng.randint(1, 4)
+    total_vars = NUM_VARS + n_guards
+    guards = list(range(NUM_VARS + 1, total_vars + 1))
+    incremental = Solver()
+    incremental.ensure_vars(total_vars)
+    accumulated = []
+    ok = True
+    for _ in range(rng.randint(5, 20)):
+        clause = random_clause(rng)
+        if rng.random() < 0.5:  # guard it under a random activation var
+            clause = clause + [-rng.choice(guards)]
+        accumulated.append(clause)
+        ok = incremental.add_clause(clause) and ok
+    retired = [g for g in guards if rng.random() < 0.5]
+    for g in retired:
+        accumulated.append([-g])
+        ok = incremental.add_clause([-g]) and ok
+    if ok:
+        ok = incremental.simplify()
+    if not ok:
+        assert fresh_solve(total_vars, accumulated) is False
+        return
+    for _ in range(4):
+        assumptions = random_assumptions(rng)
+        # Mix in guard literals: live ones positively or negatively, and
+        # sometimes a retired one (the query must then come back UNSAT).
+        for g in guards:
+            if rng.random() < 0.4:
+                assumptions.append(g if rng.random() < 0.7 else -g)
+        verdict = incremental.solve(assumptions=assumptions)
+        assert verdict == fresh_solve(total_vars, accumulated, assumptions)
+        if any(g in assumptions for g in retired):
+            assert verdict is False
+        if verdict:
+            assert_model_satisfies(
+                incremental, total_vars, accumulated, assumptions)
+
+
 def _pigeonhole(solver, pigeons, holes, guard=None):
     """Encode PHP(pigeons, holes); clauses guarded by ``guard`` if given."""
 

@@ -69,6 +69,21 @@ def test_submit_bench_pair_to_verdict(tmp_path):
         assert result.result.equivalent is True
 
 
+def test_submit_k_induction_job(tmp_path):
+    spec, impl = tiny_pair()
+    with ServerThread(store_dir=tmp_path, workers=1) as server:
+        client = client_for(server)
+        job_id = client.submit(spec, impl, name="tiny-kind",
+                               method="k_induction",
+                               options={"max_depth": 8})
+        record = client.wait(job_id, poll=0.05, timeout=60)
+        assert record["state"] == "done"
+        result = record["result"]["result"]
+        assert result["equivalent"] is True
+        assert result["method"] == "k_induction"
+        assert result["details"]["solver_stats"]["solver_constructions"] == 1
+
+
 def test_cache_serves_repeat_submissions(tmp_path):
     spec, impl = tiny_pair()
     with ServerThread(store_dir=tmp_path / "store",

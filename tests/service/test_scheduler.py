@@ -134,6 +134,51 @@ def test_inconclusive_fallback_to_bmc():
     assert any(e.type == ev.JOB_FALLBACK for e in seen)
 
 
+def test_fallback_emits_engine_fallback_event():
+    spec, impl = magic_pair()
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append)
+    job = JobSpec("magic", spec, impl,
+                  options={"time_limit": 60, "max_retiming_rounds": 1})
+    BatchScheduler(workers=0, bus=bus, fallback_method="bmc",
+                   fallback_options={"max_depth": 8}).run([job])
+    events = [e for e in seen if e.type == ev.ENGINE_FALLBACK]
+    assert len(events) == 1
+    payload = events[0].data
+    assert payload["engine"] == "van_eijk"
+    assert payload["fallback"] == "bmc"
+    assert payload["reason"]
+
+
+def test_no_fallback_fails_fast():
+    spec, impl = magic_pair()
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append)
+    job = JobSpec("magic", spec, impl,
+                  options={"time_limit": 60, "max_retiming_rounds": 1})
+    results = BatchScheduler(workers=0, bus=bus, fallback_method="bmc",
+                             no_fallback=True).run([job])
+    assert results[0].verdict is None
+    assert results[0].result.method == "van_eijk"
+    assert not any(e.type == ev.JOB_FALLBACK for e in seen)
+    assert not any(e.type == ev.ENGINE_FALLBACK for e in seen)
+
+
+def test_inconclusive_sweep_falls_back_to_k_induction():
+    from repro.circuits import onehot_ring_pair
+
+    spec, impl = onehot_ring_pair()
+    job = JobSpec("onehot", spec, impl, method="sat_sweep",
+                  match_outputs="order")
+    results = BatchScheduler(workers=0, fallback_method="k_induction",
+                             fallback_options={"max_depth": 8}).run([job])
+    result = results[0]
+    assert result.verdict is True
+    assert result.result.method == "k_induction"
+
+
 def test_batch_time_budget_aborts_cleanly():
     def sleepy(job, progress, cancel_check):
         deadline = time.monotonic() + 30

@@ -21,7 +21,8 @@ def test_verify_dispatch_every_method():
     for method in METHODS:
         result = verify(spec, impl, method=method)
         assert isinstance(result, SecResult)
-        if method in ("van_eijk", "traversal", "sat_sweep", "explicit"):
+        if method in ("van_eijk", "traversal", "sat_sweep", "k_induction",
+                      "sweep_induct", "explicit"):
             assert result.proved, method
         else:  # bmc can only refute; equivalent pair -> inconclusive
             assert not result.refuted

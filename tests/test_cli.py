@@ -97,6 +97,42 @@ def test_verify_flags(circuit_files, capsys):
     assert code == 0
 
 
+def test_verify_engine_k_induction(circuit_files, capsys):
+    code = main(["verify", str(circuit_files["spec"]),
+                 str(circuit_files["impl"]), "--engine", "k-induction",
+                 "--max-depth", "8"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "k_induction" in out
+
+
+def test_verify_engine_sweep_induction_alias(circuit_files, capsys):
+    code = main(["verify", str(circuit_files["spec"]),
+                 str(circuit_files["impl"]), "--engine",
+                 "sat_sweep+induction"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "sweep_induct" in out
+
+
+def test_verify_engine_refutes(circuit_files, capsys):
+    code = main(["verify", str(circuit_files["spec"]),
+                 str(circuit_files["buggy"]), "--engine", "k-induction"])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "INEQUIVALENT" in out
+
+
+def test_verify_unknown_engine_lists_valid_names(circuit_files, capsys):
+    code = main(["verify", str(circuit_files["spec"]),
+                 str(circuit_files["impl"]), "--engine", "warp"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "unknown engine 'warp'" in captured.err
+    for name in ("van_eijk", "k_induction", "sweep_induct", "traversal"):
+        assert name in captured.err
+
+
 def test_info(circuit_files, capsys):
     code = main(["info", str(circuit_files["spec"])])
     out = capsys.readouterr().out
