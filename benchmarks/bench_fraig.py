@@ -1,0 +1,178 @@
+"""Sequential FRAIG preprocessing on the Table-1 suite.
+
+Standalone script (not a pytest-benchmark module).  Per row it measures
+the three places the sweeping substrate now plugs in:
+
+* **Per-circuit reduction** — ``fraig_reduce`` on the spec and the
+  resynthesized impl: AND counts before/after, merges, SAT-query
+  telemetry.  Table-1 circuits are largely irredundant after structural
+  hashing, so these numbers stay modest — the honest baseline.
+* **Unrolled-frame reduction** — where sequential sweeping actually
+  bites: the 8-frame unrolling of the product machine, built once
+  naively (strash only) and once through :class:`FrameSweeper` (the
+  FRAIG-BMC substrate, init state folded to constants, every frame swept
+  incrementally through one persistent solver).  The headline metric is
+  the percentage of unrolled AND nodes the sweep removes.
+* **Verdict identity** — the row is verified with and without
+  ``preprocess="fraig"`` and the verdicts must agree exactly; a
+  disagreement aborts the benchmark.
+
+The summary counts the rows whose unrolled reduction clears 20%; a run
+over four or more rows asserts at least four clear it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fraig.py \
+        [--rows s386 s510 ...] [--depth 8] [--out BENCH_fraig.json]
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro import verify
+from repro.circuits import row_by_name
+from repro.netlist import build_product
+from repro.sweep import FrameSweeper, fraig_reduce, naive_unroll_ands
+
+DEFAULT_ROWS = ["s208", "s298", "s344", "s349", "s382", "s386", "s420",
+                "s444"]
+
+
+def reduce_stats(circuit):
+    reduction = fraig_reduce(circuit)
+    stats = reduction.stats
+    before, after = stats["ands_before"], stats["ands_after"]
+    pct = 0.0 if not before else round(100.0 * (before - after) / before, 1)
+    return {
+        "ands_before": before,
+        "ands_after": after,
+        "reduction_pct": pct,
+        "merges": stats["merges"],
+        "sat_queries": stats["sat_queries"],
+        "seconds": stats["seconds"],
+    }
+
+
+def unroll_stats(product, depth):
+    naive = naive_unroll_ands(product.circuit, depth)
+    sweeper = FrameSweeper(product.circuit)
+    started = time.monotonic()
+    for _ in range(depth):
+        lit_of = sweeper.add_frame()
+        env = sweeper.outputs_differ(product.output_pairs, lit_of)
+        if env is not None:
+            raise AssertionError("table-1 product refuted during unrolling")
+    seconds = round(time.monotonic() - started, 4)
+    swept = sweeper.stats["ands_built"]
+    pct = 0.0 if not naive else round(100.0 * (naive - swept) / naive, 1)
+    return {
+        "depth": depth,
+        "ands_naive": naive,
+        "ands_swept": swept,
+        "reduction_pct": pct,
+        "merges": sweeper.stats["merges"],
+        "sat_queries": sweeper.stats["sat_queries"],
+        "structural_diff_skips": sweeper.stats["structural_diff_skips"],
+        "solver_constructions": sweeper.stats["solver_constructions"],
+        "seconds": seconds,
+    }
+
+
+def verdict_identity(spec, impl):
+    started = time.monotonic()
+    direct = verify(spec, impl, match_outputs="order")
+    direct_s = round(time.monotonic() - started, 4)
+    started = time.monotonic()
+    pre = verify(spec, impl, match_outputs="order", preprocess="fraig")
+    pre_s = round(time.monotonic() - started, 4)
+    if direct.equivalent != pre.equivalent:
+        raise AssertionError(
+            "verdict changed under preprocessing: {} vs {}".format(
+                direct.equivalent, pre.equivalent))
+    return {
+        "verdict_direct": direct.equivalent,
+        "verdict_preprocessed": pre.equivalent,
+        "identical": True,
+        "seconds_direct": direct_s,
+        "seconds_preprocessed": pre_s,
+    }
+
+
+def bench_row(name, depth):
+    row = row_by_name(name)
+    spec, impl = row.pair()
+    product = build_product(spec, impl, match_outputs="order")
+    record = {
+        "circuit": name,
+        "regs": spec.num_registers,
+        "spec_reduce": reduce_stats(spec),
+        "impl_reduce": reduce_stats(impl),
+        "unroll": unroll_stats(product, depth),
+        "verdicts": verdict_identity(spec, impl),
+    }
+    if record["unroll"]["solver_constructions"] != 1:
+        raise AssertionError(
+            "{}: frame sweep built {} solvers, expected exactly 1".format(
+                name, record["unroll"]["solver_constructions"]))
+    return record
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", nargs="+", default=DEFAULT_ROWS,
+                        help="Table-1 row names to bench")
+    parser.add_argument("--depth", type=int, default=8,
+                        help="unrolling depth for the frame-sweep metric")
+    parser.add_argument("--out", default="BENCH_fraig.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    rows = []
+    for name in args.rows:
+        record = bench_row(name, args.depth)
+        print("{:<6} circuit {:>5.1f}%/{:>5.1f}%  unroll@{} {:>6} -> {:>5} "
+              "ANDs ({:>5.1f}%)  verdict={} identical".format(
+                  record["circuit"],
+                  record["spec_reduce"]["reduction_pct"],
+                  record["impl_reduce"]["reduction_pct"],
+                  args.depth,
+                  record["unroll"]["ands_naive"],
+                  record["unroll"]["ands_swept"],
+                  record["unroll"]["reduction_pct"],
+                  record["verdicts"]["verdict_direct"]),
+              flush=True)
+        rows.append(record)
+
+    rows_ge20 = [r["circuit"] for r in rows
+                 if r["unroll"]["reduction_pct"] >= 20.0]
+    summary = {
+        "rows": len(rows),
+        "depth": args.depth,
+        "rows_ge20_pct": rows_ge20,
+        "rows_ge20": len(rows_ge20),
+        "all_verdicts_identical": all(
+            r["verdicts"]["identical"] for r in rows),
+        "mean_unroll_reduction_pct": round(
+            sum(r["unroll"]["reduction_pct"] for r in rows) / len(rows), 1),
+    }
+    if len(rows) >= 4 and summary["rows_ge20"] < 4:
+        raise AssertionError(
+            "only {} rows cleared 20% unrolled reduction".format(
+                summary["rows_ge20"]))
+    print("summary: {}/{} rows >= 20% unrolled reduction (mean {}%), "
+          "verdicts identical on all".format(
+              summary["rows_ge20"], summary["rows"],
+              summary["mean_unroll_reduction_pct"]))
+
+    with open(args.out, "w") as fh:
+        json.dump({"benchmark": "fraig", "rows": rows, "summary": summary},
+                  fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("wrote", args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,8 +36,8 @@ from .induction import KInductionEngine, check_equivalence_k_induction
 
 __version__ = "1.0.0"
 
-METHODS = ("van_eijk", "traversal", "sat_sweep", "k_induction",
-           "sweep_induct", "bmc", "explicit")
+METHODS = ("van_eijk", "traversal", "sat_sweep", "fraig_sweep",
+           "k_induction", "sweep_induct", "bmc", "explicit")
 
 
 def verify(spec, impl, method="van_eijk", match_inputs="name",
@@ -52,6 +52,9 @@ def verify(spec, impl, method="van_eijk", match_inputs="name",
       options are those of
       :func:`~repro.reach.check_equivalence_traversal`.
     * ``"sat_sweep"`` — the SAT-backed signal correspondence (§6).
+    * ``"fraig_sweep"`` — FRAIG-reduce both circuits on the AIG substrate
+      first, then run the SAT correspondence on the reduced pair
+      (:mod:`repro.sweep`).
     * ``"k_induction"`` — temporal induction over the product miter:
       proves what the fixed point cannot, without traversal; options are
       :class:`~repro.induction.KInductionEngine` parameters.
@@ -62,8 +65,35 @@ def verify(spec, impl, method="van_eijk", match_inputs="name",
       depth bound (shortest counterexamples); it never proves.
     * ``"explicit"`` — explicit-state oracle (tiny circuits only).
 
+    Every method additionally accepts ``preprocess="fraig"``: the pair is
+    shrunk by the sequential-safe FRAIG sweep before the engine runs;
+    verdicts and counterexample traces are unaffected (the reduction
+    preserves the per-frame functions and the circuit interface), and the
+    reduction telemetry lands in ``details["preprocess"]``.
+
     Returns a :class:`~repro.reach.SecResult`.
     """
+    if options.get("preprocess"):
+        from .sweep import (
+            attach_preprocess_details,
+            preprocess_pair,
+            split_preprocess_options,
+        )
+
+        passes, pre_kwargs, options = split_preprocess_options(options)
+        spec, impl, info = preprocess_pair(spec, impl, passes=passes,
+                                           **pre_kwargs)
+        result = verify(spec, impl, method=method,
+                        match_inputs=match_inputs,
+                        match_outputs=match_outputs, **options)
+        return attach_preprocess_details(result, info)
+    if method == "fraig_sweep":
+        from .sweep import check_equivalence_fraig_sweep
+
+        return check_equivalence_fraig_sweep(
+            spec, impl, match_inputs=match_inputs,
+            match_outputs=match_outputs, **options
+        )
     if method == "van_eijk":
         verifier = VanEijkVerifier(**options)
         return verifier.verify(spec, impl, match_inputs=match_inputs,

@@ -57,8 +57,8 @@ def _result_exit_code(result):
 
 
 #: Engines whose check functions accept the service-layer ``progress`` hook.
-_PROGRESS_METHODS = ("van_eijk", "sat_sweep", "bmc", "traversal",
-                     "k_induction", "sweep_induct")
+_PROGRESS_METHODS = ("van_eijk", "sat_sweep", "fraig_sweep", "bmc",
+                     "traversal", "k_induction", "sweep_induct")
 
 #: CLI spellings accepted by ``--engine`` beyond the canonical METHODS names.
 _ENGINE_ALIASES = {
@@ -109,6 +109,12 @@ def _cmd_verify(args):
         if args.portfolio:
             from .service import run_portfolio
 
+            preprocess_info = None
+            if args.preprocess:
+                from .sweep import preprocess_pair
+
+                spec, impl, preprocess_info = preprocess_pair(
+                    spec, impl, passes=args.preprocess)
             result = run_portfolio(
                 spec, impl,
                 time_limit=args.time_limit,
@@ -116,6 +122,10 @@ def _cmd_verify(args):
                 match_outputs=args.match_outputs,
                 bus=bus,
             )
+            if preprocess_info is not None:
+                from .sweep import attach_preprocess_details
+
+                attach_preprocess_details(result, preprocess_info)
         else:
             options = {}
             if args.method == "van_eijk":
@@ -136,6 +146,11 @@ def _cmd_verify(args):
                     options["refine_workers"] = args.refine_workers
                 if args.time_limit:
                     options["time_limit"] = args.time_limit
+            elif args.method == "fraig_sweep":
+                if args.refine_workers:
+                    options["refine_workers"] = args.refine_workers
+                if args.time_limit:
+                    options["time_limit"] = args.time_limit
             elif args.method == "traversal":
                 if args.time_limit:
                     options["time_limit"] = args.time_limit
@@ -143,6 +158,8 @@ def _cmd_verify(args):
                     options["node_limit"] = args.node_limit
             elif args.method == "bmc":
                 options["max_depth"] = args.max_depth
+                if args.fraig_frames:
+                    options["fraig_frames"] = True
                 if args.time_limit:
                     options["time_limit"] = args.time_limit
             elif args.method in ("k_induction", "sweep_induct"):
@@ -161,6 +178,8 @@ def _cmd_verify(args):
                     bus.emit(JOB_PROGRESS, job=job_name, **data)
 
                 options["progress"] = progress
+            if args.preprocess:
+                options["preprocess"] = args.preprocess
             result = verify(spec, impl, method=args.method,
                             match_inputs=args.match_inputs,
                             match_outputs=args.match_outputs, **options)
@@ -200,12 +219,21 @@ def _cmd_batch(args):
     options = {}
     if args.refine_workers and args.method == "sat_sweep":
         options["refine_workers"] = args.refine_workers
+    if args.preprocess:
+        options["preprocess"] = args.preprocess
     jobs = []
     for row in rows:
         spec, impl = row.pair(optimize_level=args.optimize_level)
         jobs.append(JobSpec(row.name, spec, impl, method=args.method,
                             options=dict(options),
                             tags={"scale": row.scale}))
+    if args.preprocess and not args.server:
+        # Reduce before the scheduler computes cache keys (the daemon does
+        # the same server-side); a --preprocess run and a direct run on the
+        # identical reduced pair share one cache entry.
+        from .sweep import preprocess_jobspec
+
+        jobs = [preprocess_jobspec(job)[0] for job in jobs]
     bus = EventBus()
     if not args.json:
         bus.subscribe(LiveRenderer(verbose=args.verbose))
@@ -472,6 +500,8 @@ def _remote_verify(args):
         options["max_depth"] = args.max_depth
     if args.refine_workers:
         options["refine_workers"] = args.refine_workers
+    if args.preprocess:
+        options["preprocess"] = args.preprocess
     if args.suite:
         job_id = client.submit_suite(
             args.suite, method=args.method, options=options,
@@ -575,8 +605,9 @@ def build_parser():
                                "'k-induction'); overrides --method and "
                                "rejects unknown names with the valid list")
     p_verify.add_argument("--portfolio", action="store_true",
-                          help="race van_eijk/k_induction/bmc/traversal in "
-                               "parallel; first conclusive verdict wins")
+                          help="race van_eijk/fraig_sweep/k_induction/bmc/"
+                               "traversal in parallel; first conclusive "
+                               "verdict wins")
     p_verify.add_argument("--json", action="store_true",
                           help="print the machine-readable verdict/stats "
                                "dict instead of text")
@@ -614,6 +645,14 @@ def build_parser():
     p_verify.add_argument("--max-depth", type=int, default=32,
                           help="BMC unrolling bound / maximum induction "
                                "depth")
+    p_verify.add_argument("--preprocess", choices=["fraig"],
+                          help="shrink both circuits with the sequential-"
+                               "safe FRAIG sweep before the engine (or "
+                               "portfolio) runs; verdict-preserving")
+    p_verify.add_argument("--fraig-frames", action="store_true",
+                          help="bmc only: functionally reduce the unrolled "
+                               "frames (FRAIG-BMC); identical verdicts and "
+                               "shortest counterexamples")
     p_verify.set_defaults(func=_cmd_verify)
 
     p_batch = sub.add_parser(
@@ -656,6 +695,10 @@ def build_parser():
     p_batch.add_argument("--server", metavar="URL",
                          help="route jobs through a repro-sec serve daemon "
                               "instead of a local scheduler")
+    p_batch.add_argument("--preprocess", choices=["fraig"],
+                         help="FRAIG-reduce every pair before its engine "
+                              "runs (applied before cache keys, locally "
+                              "and server-side)")
     p_batch.set_defaults(func=_cmd_batch)
 
     p_fuzz = sub.add_parser(
@@ -773,6 +816,10 @@ def build_parser():
                            metavar="N",
                            help="sat_sweep only: parallel refinement "
                                 "workers (0 = serial)")
+    pr_verify.add_argument("--preprocess", choices=["fraig"],
+                           help="FRAIG-reduce the pair server-side before "
+                                "the engine runs (applied before the "
+                                "cache key)")
     pr_verify.add_argument("--no-watch", action="store_true",
                            help="poll for the verdict instead of streaming "
                                 "the SSE progress events")

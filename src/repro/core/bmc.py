@@ -18,16 +18,30 @@ from ..sat.tseitin import TseitinEncoder
 
 
 def bmc_refute(product, max_depth=32, time_limit=None,
-               conflict_budget=None, progress=None, cancel_check=None):
+               conflict_budget=None, fraig_frames=False, fraig_seed=2024,
+               progress=None, cancel_check=None):
     """Search for a counterexample of length 1..max_depth.
 
     Returns a :class:`SecResult`: refuted (with a shortest-length trace),
     or inconclusive — BMC can never *prove* equivalence.
 
+    ``fraig_frames=True`` switches to the functionally reduced unrolling
+    (FRAIG-BMC, :mod:`repro.sweep.frames`): frames are built in one
+    structurally hashed AIG and swept as they are added, so shared and
+    equivalent cones are encoded once instead of once per frame.  Verdicts
+    and shortest counterexamples are identical to the naive unrolling.
+
     ``progress(kind, **data)`` fires once per unrolled depth;
     ``cancel_check()`` is polled at the same cadence and aborts the search
     with an inconclusive ("cancelled") result.
     """
+    if fraig_frames:
+        from ..sweep.frames import fraig_bmc_refute
+
+        return fraig_bmc_refute(
+            product, max_depth=max_depth, time_limit=time_limit,
+            conflict_budget=conflict_budget, seed=fraig_seed,
+            progress=progress, cancel_check=cancel_check)
     start = time.monotonic()
     deadline = None if time_limit is None else start + time_limit
     circuit = product.circuit

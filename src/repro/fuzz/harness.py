@@ -59,7 +59,13 @@ DEFAULT_FUZZ_ENGINES = (
     ("sat_sweep", "sat_sweep", {"sim_frames": 16, "sim_width": 16}),
     ("sat_sweep_par2", "sat_sweep",
      {"sim_frames": 16, "sim_width": 16, "refine_workers": 2}),
+    # The same engine behind the FRAIG preprocessor: every fuzz case
+    # cross-checks the reducer's verdict-preservation against the plain
+    # sat_sweep lane above.
+    ("sat_sweep_fraig", "sat_sweep",
+     {"sim_frames": 16, "sim_width": 16, "preprocess": "fraig"}),
     ("bmc", "bmc", {"max_depth": 12}),
+    ("bmc_fraig", "bmc", {"max_depth": 12, "fraig_frames": True}),
     ("k_induction", "k_induction",
      {"max_depth": 10, "sim_frames": 16, "sim_width": 16}),
     ("traversal", "traversal", {"max_iterations": 256}),

@@ -263,25 +263,25 @@ def to_circuit(aig, name="aig"):
         net = aig.names.get(var, "lat{}".format(var))
         circuit.add_register(net, "__pending", init=init)
         net_of_var[var] = net
-    const_net = None
+    const_nets = {}
 
-    def ensure_const():
-        nonlocal const_net
-        if const_net is None:
-            const_net = circuit.fresh_name("aig_const0")
-            circuit.add_gate(const_net, GateType.CONST0, [])
-        return const_net
+    def ensure_const(value):
+        # Emit CONST0/CONST1 gates directly (not NOT-of-CONST0): the
+        # constant-fold pass in transform/optimize produces the same
+        # shape, so either path strashes to identical node counts.
+        if value not in const_nets:
+            gtype = GateType.CONST1 if value else GateType.CONST0
+            net = circuit.fresh_name("aig_const{}".format(int(value)))
+            circuit.add_gate(net, gtype, [])
+            const_nets[value] = net
+        return const_nets[value]
 
     inverters = {}
 
     def net_of_lit(lit):
         var = lit_var(lit)
         if var == 0:
-            base = ensure_const()
-            if not lit_sign(lit):
-                return base
-            # TRUE literal: invert the constant once.
-            return net_of_lit_cached_not(base)
+            return ensure_const(bool(lit_sign(lit)))
         base = net_of_var[var]
         if not lit_sign(lit):
             return base

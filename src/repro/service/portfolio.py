@@ -43,7 +43,8 @@ from .events import (
 from .job import JobResult, JobSpec, aborted_result
 from .procs import drain_queue, get_context, start_worker, terminate_gracefully
 
-DEFAULT_PORTFOLIO_METHODS = ("van_eijk", "k_induction", "bmc", "traversal")
+DEFAULT_PORTFOLIO_METHODS = ("van_eijk", "fraig_sweep", "k_induction",
+                             "bmc", "traversal")
 
 _POLL_INTERVAL = 0.05
 

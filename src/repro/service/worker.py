@@ -57,6 +57,17 @@ def run_job(job, emit=None, cancel_check=None):
 
     if cancel_check is not None and cancel_check():
         return aborted_result(job.method, "cancelled")
+    if job.options.get("preprocess"):
+        # Engine-agnostic FRAIG preprocessing: rewrite the job onto the
+        # reduced pair (scheduler/daemon submission sites that want the
+        # reduction inside the cache key call preprocess_jobspec before
+        # the key is first computed; this path covers everything else —
+        # fuzz lanes, portfolio lanes, direct run_job callers).
+        from ..sweep import attach_preprocess_details, preprocess_jobspec
+
+        job, info = preprocess_jobspec(job)
+        result = run_job(job, emit=emit, cancel_check=cancel_check)
+        return attach_preprocess_details(result, info)
     runner = _EXTRA_METHODS.get(job.method)
     if runner is not None:
         return runner(job, progress, cancel_check)
@@ -73,6 +84,13 @@ def run_job(job, emit=None, cancel_check=None):
         from ..core.satbackend import check_equivalence_sat_sweep
 
         return check_equivalence_sat_sweep(
+            job.spec, job.impl, match_inputs=job.match_inputs,
+            match_outputs=job.match_outputs, progress=progress,
+            cancel_check=cancel_check, **options)
+    if job.method == "fraig_sweep":
+        from ..sweep import check_equivalence_fraig_sweep
+
+        return check_equivalence_fraig_sweep(
             job.spec, job.impl, match_inputs=job.match_inputs,
             match_outputs=job.match_outputs, progress=progress,
             cancel_check=cancel_check, **options)

@@ -126,7 +126,10 @@ def test_same_seed_reruns_identically():
 
 def test_engine_list_shorthand_uses_default_budgets():
     fuzzer = DifferentialFuzzer(engines=["bmc"])
-    assert fuzzer.engines == [("bmc", "bmc", {"max_depth": 12})]
+    assert ("bmc", "bmc", {"max_depth": 12}) in fuzzer.engines
+    # The "bmc" method shorthand also picks up the FRAIG-frames lane.
+    lanes = {label: options for label, _, options in fuzzer.engines}
+    assert lanes["bmc_fraig"]["fraig_frames"] is True
 
 
 def test_engine_method_shorthand_selects_all_default_lanes():

@@ -1,0 +1,121 @@
+"""BUF/const-alias agreement between ``transform.optimize`` and the reducer.
+
+Both cleanup paths claim the same alias semantics: BUF chains and double
+negation collapse to their driver, explicit constants fold and dedupe.
+For circuits whose *only* redundancy is of that kind, the light optimize
+pipeline (level 1) and ``fraig_reduce`` must land on structurally
+identical logic — pinned here by comparing post-``strash`` node counts.
+Where the two legitimately differ (functional redundancy beyond
+aliasing), FRAIG must be at least as strong, never weaker.
+"""
+
+import pytest
+
+from repro.netlist import Circuit, GateType, single_eval, strash
+from repro.sweep import fraig_reduce
+from repro.transform import optimize
+
+
+def buf_chain_circuit():
+    c = Circuit("bufchain")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("g1", GateType.AND, ["a", "b"])
+    c.add_gate("b1", GateType.BUF, ["g1"])
+    c.add_gate("b2", GateType.BUF, ["b1"])
+    c.add_gate("n1", GateType.NOT, ["b2"])
+    c.add_gate("n2", GateType.NOT, ["n1"])
+    c.add_output("n2")
+    return c.validate()
+
+
+def const_alias_circuit():
+    c = Circuit("constalias")
+    c.add_input("a")
+    c.add_gate("c0", GateType.CONST0, [])
+    c.add_gate("c1", GateType.NOT, ["c0"])
+    c.add_gate("g", GateType.AND, ["a", "c1"])  # = a
+    c.add_gate("h", GateType.AND, ["a", "c0"])  # = 0
+    c.add_output("g")
+    c.add_output("h")
+    return c.validate()
+
+
+def double_negation_circuit():
+    c = Circuit("dneg")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("n1", GateType.NOT, ["a"])
+    c.add_gate("n2", GateType.NOT, ["n1"])
+    c.add_gate("o", GateType.AND, ["n2", "b"])
+    c.add_output("o")
+    return c.validate()
+
+
+ALIAS_CIRCUITS = [buf_chain_circuit, const_alias_circuit,
+                  double_negation_circuit]
+
+
+def strash_count(circuit):
+    reduced, _ = strash(circuit)
+    return reduced.num_gates
+
+
+@pytest.mark.parametrize("build", ALIAS_CIRCUITS, ids=lambda f: f.__name__)
+def test_alias_only_redundancy_lands_on_same_node_count(build):
+    circuit = build()
+    via_optimize = optimize(circuit, level=1)
+    via_fraig = fraig_reduce(circuit).reduced
+    assert strash_count(via_optimize) == strash_count(via_fraig)
+    # Same function, too: exhaustive over the (tiny) input space.
+    n = len(circuit.inputs)
+    for bits in range(1 << n):
+        env = {net: (bits >> i) & 1
+               for i, net in enumerate(circuit.inputs)}
+        vo = single_eval(via_optimize, env, {})
+        vf = single_eval(via_fraig, env, {})
+        # ``optimize`` may rename outputs to their representative net;
+        # the reducer preserves names — so compare positionally.
+        for o_net, f_net in zip(via_optimize.outputs, via_fraig.outputs):
+            assert vo[o_net] == vf[f_net]
+
+
+@pytest.mark.parametrize("build", ALIAS_CIRCUITS, ids=lambda f: f.__name__)
+def test_fraig_never_weaker_than_light_optimize(build):
+    circuit = build()
+    assert (strash_count(fraig_reduce(circuit).reduced)
+            <= strash_count(optimize(circuit, level=1)))
+
+
+def test_constant_true_output_becomes_const1_gate():
+    """Pins the AIG→circuit constant export: TRUE is a CONST1 gate.
+
+    ``aig.to_circuit`` used to export constant-TRUE literals as
+    ``NOT(CONST0)``, which the reducer's node accounting then disagreed
+    with; the tautology below must now come back as a single CONST1.
+    """
+    c = Circuit("tautology")
+    c.add_input("a")
+    c.add_gate("na", GateType.NOT, ["a"])
+    c.add_gate("o", GateType.OR, ["a", "na"])  # = 1
+    c.add_output("o")
+    c.validate()
+    reduced = fraig_reduce(c).reduced
+    kinds = {g.gtype for g in reduced.gates.values()}
+    assert GateType.CONST1 in kinds
+    assert GateType.NOT not in kinds
+    for a in (0, 1):
+        assert single_eval(reduced, {"a": a}, {})["o"] is True
+
+
+def test_constant_false_output_becomes_const0_gate():
+    c = Circuit("contradiction")
+    c.add_input("a")
+    c.add_gate("na", GateType.NOT, ["a"])
+    c.add_gate("o", GateType.AND, ["a", "na"])  # = 0
+    c.add_output("o")
+    c.validate()
+    reduced = fraig_reduce(c).reduced
+    assert GateType.CONST0 in {g.gtype for g in reduced.gates.values()}
+    for a in (0, 1):
+        assert single_eval(reduced, {"a": a}, {})["o"] is False

@@ -1,0 +1,129 @@
+"""Differential layer: ``--preprocess fraig`` must never change a verdict.
+
+Every engine is run twice on the same pair — once directly, once on the
+FRAIG-reduced pair — and the verdicts must agree exactly (proved stays
+proved, refuted stays refuted, inconclusive stays inconclusive).  For
+refutations the counterexample is additionally replayed on the ORIGINAL
+circuits: the reduction preserves the interface, so a trace found in the
+reduced space must demonstrate a real output mismatch in the unreduced
+one.  FRAIG-BMC (frame reduction inside the unrolling) is pinned the same
+way against plain BMC: identical verdict, identical refutation depth,
+replay-valid trace.
+"""
+
+import os
+
+import pytest
+
+from repro import verify
+from repro.circuits import row_by_name
+from repro.core.bmc import bmc_refute
+from repro.fuzz.corpus import discover
+from repro.fuzz.generate import build_pair, expected_label, make_recipe
+from repro.fuzz.replay import replay_counterexample
+from repro.netlist import build_product
+from repro.sweep import fraig_bmc_refute
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "..", "corpus")
+
+#: engine -> options kept small enough for tier-1.
+ENGINES = [
+    ("van_eijk", {}),
+    ("sat_sweep", {"sim_frames": 16, "sim_width": 16}),
+    ("k_induction", {"max_depth": 16}),
+    ("bmc", {"max_depth": 6}),
+]
+
+ROWS = ["s386", "s510"]
+
+
+def both_verdicts(spec, impl, method, options, match_outputs="order"):
+    direct = verify(spec, impl, method=method, match_outputs=match_outputs,
+                    **options)
+    pre = verify(spec, impl, method=method, match_outputs=match_outputs,
+                 preprocess="fraig", **options)
+    assert "preprocess" in pre.details
+    return direct, pre
+
+
+@pytest.mark.parametrize("row_name", ROWS)
+@pytest.mark.parametrize("method,options", ENGINES,
+                         ids=[m for m, _ in ENGINES])
+def test_table1_rows_verdict_identical(row_name, method, options):
+    spec, impl = row_by_name(row_name).pair(optimize_level=1)
+    direct, pre = both_verdicts(spec, impl, method, options)
+    assert direct.equivalent == pre.equivalent
+
+
+def test_traversal_verdict_identical_on_small_row():
+    spec, impl = row_by_name("s386").pair(optimize_level=1)
+    direct, pre = both_verdicts(spec, impl, "traversal", {})
+    assert direct.equivalent is True
+    assert pre.equivalent is True
+
+
+def corpus_entries():
+    return list(discover(CORPUS_DIR))
+
+
+@pytest.mark.parametrize("entry", corpus_entries(), ids=lambda e: e.id)
+def test_corpus_entries_verdict_identical(entry):
+    spec, impl = build_pair(entry.recipe)
+    for method, options in (("van_eijk", {}), ("bmc", {"max_depth": 10})):
+        direct, pre = both_verdicts(spec, impl, method, options)
+        assert direct.equivalent == pre.equivalent, method
+
+
+def inequivalent_recipes(count=3):
+    """First ``count`` fuzz recipes whose label is known-inequivalent."""
+    found, seed = [], 0
+    while len(found) < count and seed < 400:
+        recipe = make_recipe(seed)
+        if expected_label(recipe) == "inequivalent":
+            found.append(recipe)
+        seed += 1
+    assert len(found) == count
+    return found
+
+
+@pytest.mark.parametrize("recipe", inequivalent_recipes(),
+                         ids=lambda r: r["base"]["name"])
+def test_refutations_replay_on_original_circuits(recipe):
+    spec, impl = build_pair(recipe)
+    direct, pre = both_verdicts(spec, impl, "bmc", {"max_depth": 16})
+    assert direct.equivalent is False
+    assert pre.equivalent is False
+    # Both traces must demonstrate a real mismatch on the ORIGINAL pair —
+    # the preprocessed trace in particular was found in the reduced space.
+    for result in (direct, pre):
+        report = replay_counterexample(spec, impl, result.counterexample,
+                                       match_inputs="name",
+                                       match_outputs="order")
+        assert report.valid, report.reason
+
+
+@pytest.mark.parametrize("seed", [2, 5, 14])
+def test_fraig_bmc_matches_plain_bmc(seed):
+    recipe = make_recipe(seed)
+    spec, impl = build_pair(recipe)
+    product = build_product(spec, impl, match_inputs="name",
+                            match_outputs="order")
+    plain = bmc_refute(product, max_depth=12)
+    fraig = fraig_bmc_refute(product, max_depth=12)
+    assert plain.equivalent == fraig.equivalent
+    if plain.equivalent is False:
+        assert plain.iterations == fraig.iterations  # same refutation depth
+        report = replay_counterexample(spec, impl, fraig.counterexample,
+                                       match_inputs="name",
+                                       match_outputs="order")
+        assert report.valid, report.reason
+
+
+def test_fraig_bmc_via_verify_option():
+    recipe = make_recipe(14)
+    spec, impl = build_pair(recipe)
+    direct = verify(spec, impl, method="bmc", max_depth=12)
+    framed = verify(spec, impl, method="bmc", max_depth=12,
+                    fraig_frames=True)
+    assert direct.equivalent == framed.equivalent
+    assert "fraig_frames" in framed.details
