@@ -1,0 +1,452 @@
+"""Fleet load harness: coordinator-sharded daemons under client storm.
+
+Standalone script (not a pytest-benchmark module).  For each requested
+worker count it boots a real deployment — one ``repro-sec serve
+--coordinator`` subprocess fronting N ``--join`` worker subprocesses on
+ephemeral ports — and drives it with a thread-per-client storm:
+
+* **submission load** — ``--clients`` concurrent clients each submit
+  ``--jobs-per-client`` verification jobs drawn round-robin from a pool
+  of ``--unique`` distinct problems, and poll their own jobs to
+  completion.  Per-job latency (submit -> terminal) is recorded and
+  reported as p50/p99 alongside end-to-end throughput.
+* **cache-hit storms** — the pool is smaller than the job count on
+  purpose: every repeat of a problem is a content-addressed cache hit
+  (local to the owning node, or served cross-node via the
+  coordinator's shared cache), so the storm exercises the cache path at
+  a realistic hit rate.  Hit counts come from the coordinator's stats.
+* **SSE fan-out** — ``--watchers`` concurrent clients follow one long
+  job's event stream through the coordinator while the storm runs; all
+  of them must see the terminal frame.
+* **verdict identity** — every job's result is compared against a
+  single standalone daemon's run of the same problem; any mismatch
+  fails the harness (exit 1).  Latency numbers on an oversubscribed CI
+  host measure queueing, not the engine — verdict identity is the part
+  that must never flake.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py \
+        [--workers 1,2] [--clients 8] [--jobs-per-client 4] \
+        [--unique 6] [--watchers 4] [--out BENCH_fleet.json]
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+if SRC_DIR not in sys.path:  # pragma: no cover - direct invocation aid
+    sys.path.insert(0, SRC_DIR)
+
+from repro.circuits import delay_line_pair  # noqa: E402
+from repro.client import ServerClient, job_payload  # noqa: E402
+
+#: Fields of a serialized SecResult that legitimately vary between runs.
+VOLATILE_RESULT_FIELDS = ("seconds",)
+
+
+class Daemon:
+    """One ``repro-sec serve`` subprocess in its own process group."""
+
+    def __init__(self, base_dir, tag, extra_args=(), engine_workers=2):
+        home = os.path.join(base_dir, tag)
+        os.makedirs(home, exist_ok=True)
+        self.tag = tag
+        self.ready_file = os.path.join(home, "ready.json")
+        argv = [
+            sys.executable, "-m", "repro", "serve",
+            "--host", "127.0.0.1", "--port", "0", "--quiet",
+            "--store-dir", os.path.join(home, "store"),
+            "--cache-dir", os.path.join(home, "cache"),
+            "--ready-file", self.ready_file,
+            "--workers", str(engine_workers),
+            "--rate", "100000", "--burst", "100000",
+            "--queue-limit", "100000",
+        ] + list(extra_args)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            argv, env=env, cwd=home, start_new_session=True,
+            stdout=subprocess.DEVNULL, stderr=subprocess.PIPE)
+        self.pgid = os.getpgid(self.proc.pid)
+        self.url = self._await_ready()
+
+    def _await_ready(self, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    "{} died during startup:\n".format(self.tag)
+                    + self.proc.stderr.read().decode())
+            try:
+                with open(self.ready_file) as fh:
+                    return json.load(fh)["url"]
+            except (OSError, ValueError, KeyError):
+                time.sleep(0.05)
+        raise RuntimeError("{} never wrote its ready file".format(self.tag))
+
+    def stop(self):
+        try:
+            self.proc.send_signal(signal.SIGTERM)
+            self.proc.wait(timeout=30)
+        except (ProcessLookupError, subprocess.TimeoutExpired):
+            pass
+        try:
+            os.killpg(self.pgid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            pass
+        if self.proc.poll() is None:
+            self.proc.wait(timeout=10)
+        if self.proc.stderr:
+            self.proc.stderr.close()
+
+
+def build_pool(unique, base_delay, step):
+    """``unique`` distinct problems with engine-deterministic verdicts."""
+    pool = []
+    for number in range(unique):
+        delay = base_delay + number * step
+        spec, impl = delay_line_pair(delay)
+        pool.append(job_payload(
+            spec, impl, name="pair-d{}".format(delay), method="bmc",
+            options={"max_depth": delay + 50}, match_outputs="order"))
+    return pool
+
+
+def comparable_result(record):
+    result = record.get("result")
+    if result is None:
+        return None
+    inner = dict(result.get("result") or {})
+    for field in VOLATILE_RESULT_FIELDS:
+        inner.pop(field, None)
+    return inner
+
+
+def percentile(values, fraction):
+    """Nearest-rank percentile of a non-empty list."""
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def client_storm(url, pool, clients, jobs_per_client, timeout):
+    """Thread-per-client submission storm; returns (latencies, verdicts).
+
+    ``latencies`` is seconds from submission to terminal state, one per
+    job; ``verdicts`` maps job name to its comparable result dict (the
+    harness asserts all copies of one problem agree before returning).
+    """
+    latencies = []
+    verdicts = {}
+    errors = []
+    lock = threading.Lock()
+
+    def one_client(client_index):
+        client = ServerClient(url, timeout=30.0)
+        try:
+            for number in range(jobs_per_client):
+                payload = pool[(client_index + number * clients)
+                               % len(pool)]
+                started = time.monotonic()
+                job_id = client.submit_payload(payload)
+                deadline = time.monotonic() + timeout
+                while True:
+                    record = client.job(job_id)
+                    if record["state"] in ("done", "cancelled", "error"):
+                        break
+                    if time.monotonic() > deadline:
+                        raise RuntimeError("job {} timed out".format(job_id))
+                    time.sleep(0.02)
+                latency = time.monotonic() - started
+                if record["state"] != "done":
+                    raise RuntimeError("job {} ended {}: {}".format(
+                        payload["name"], record["state"],
+                        record.get("error")))
+                outcome = comparable_result(record)
+                with lock:
+                    latencies.append(latency)
+                    previous = verdicts.setdefault(payload["name"], outcome)
+                    if previous != outcome:
+                        raise RuntimeError(
+                            "verdict drift within the fleet for "
+                            + payload["name"])
+        except Exception as exc:  # surfaced after the join
+            with lock:
+                errors.append("client {}: {}".format(client_index, exc))
+
+    threads = [threading.Thread(target=one_client, args=(index,),
+                                daemon=True)
+               for index in range(clients)]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.monotonic() - started
+    if errors:
+        raise RuntimeError("; ".join(errors[:5]))
+    return latencies, verdicts, wall
+
+
+def cache_storm(url, pool, node_ids, timeout):
+    """Force cross-node serves: every problem pinned to every node.
+
+    After the main storm each problem is solved and cached somewhere;
+    pinning it to each node in turn makes the owning node serve its
+    local copy and every *other* node read through the coordinator's
+    shared cache — the "any node serves any fingerprint" guarantee,
+    measured.  Returns counts and the cached-serve latency percentiles.
+    """
+    client = ServerClient(url, timeout=30.0)
+    latencies = []
+    cached = 0
+    for payload in pool:
+        for node_id in node_ids:
+            pinned = dict(payload, pin_node=node_id)
+            started = time.monotonic()
+            job_id = client.submit_payload(pinned)
+            record = client.wait(job_id, poll=0.02, timeout=timeout)
+            latencies.append(time.monotonic() - started)
+            if record["state"] != "done":
+                raise RuntimeError("pinned job on {} ended {}".format(
+                    node_id, record["state"]))
+            if record.get("cached"):
+                cached += 1
+    return {
+        "jobs": len(latencies),
+        "cached": cached,
+        "hit_rate": round(cached / len(latencies), 3) if latencies else None,
+        "latency_seconds": {
+            "p50": round(percentile(latencies, 0.50), 4),
+            "p99": round(percentile(latencies, 0.99), 4),
+        },
+    }
+
+
+def sse_fanout(url, payload, watchers, timeout):
+    """``watchers`` concurrent SSE followers of one job; returns stats."""
+    client = ServerClient(url, timeout=30.0)
+    job_id = client.submit_payload(payload)
+    finished = []
+    event_counts = []
+    lock = threading.Lock()
+
+    def watch():
+        watcher = ServerClient(url, timeout=30.0)
+        count = 0
+        try:
+            for event in watcher.events(job_id, timeout=timeout):
+                count += 1
+                if event.get("type") == "done":
+                    with lock:
+                        finished.append(True)
+                    break
+        finally:
+            with lock:
+                event_counts.append(count)
+
+    threads = [threading.Thread(target=watch, daemon=True)
+               for _ in range(watchers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout)
+    return {
+        "watchers": watchers,
+        "terminal_frames_seen": len(finished),
+        "min_events_per_watcher": min(event_counts) if event_counts else 0,
+    }
+
+
+def baseline_run(base_dir, pool, timeout, engine_workers):
+    """The single-daemon ground truth: one run per unique problem."""
+    daemon = Daemon(base_dir, "baseline", engine_workers=engine_workers)
+    try:
+        client = ServerClient(daemon.url, timeout=30.0)
+        verdicts = {}
+        started = time.monotonic()
+        ids = [client.submit_payload(payload) for payload in pool]
+        for payload, job_id in zip(pool, ids):
+            record = client.wait(job_id, poll=0.05, timeout=timeout)
+            if record["state"] != "done":
+                raise RuntimeError("baseline job {} ended {}".format(
+                    payload["name"], record["state"]))
+            verdicts[payload["name"]] = comparable_result(record)
+        return verdicts, time.monotonic() - started
+    finally:
+        daemon.stop()
+
+
+def bench_fleet(base_dir, node_count, pool, args):
+    """Boot a coordinator + ``node_count`` workers and run the storm."""
+    tag = "fleet{}".format(node_count)
+    coordinator = Daemon(base_dir, tag + "-coord",
+                         extra_args=("--coordinator",
+                                     "--heartbeat", "0.25",
+                                     "--dead-after", "2.0"))
+    nodes = []
+    try:
+        for number in range(node_count):
+            nodes.append(Daemon(
+                base_dir, "{}-w{}".format(tag, number),
+                extra_args=("--join", coordinator.url,
+                            "--node-id", "w{}".format(number),
+                            "--heartbeat", "0.25"),
+                engine_workers=args.engine_workers))
+        client = ServerClient(coordinator.url, timeout=30.0)
+        deadline = time.monotonic() + 30
+        while client.healthz()["nodes"]["alive"] < node_count:
+            if time.monotonic() > deadline:
+                raise RuntimeError("workers never joined")
+            time.sleep(0.05)
+
+        latencies, verdicts, wall = client_storm(
+            coordinator.url, pool, args.clients, args.jobs_per_client,
+            args.timeout)
+        storm = cache_storm(
+            coordinator.url, pool,
+            ["w{}".format(number) for number in range(node_count)],
+            args.timeout)
+        fanout = sse_fanout(
+            coordinator.url, pool[0], args.watchers, args.timeout)
+        stats = client.stats()
+        cache = stats.get("cache") or {}
+        return {
+            "nodes": node_count,
+            "jobs": len(latencies),
+            "clients": args.clients,
+            "wall_seconds": round(wall, 3),
+            "throughput_jobs_per_second": round(len(latencies) / wall, 3)
+            if wall > 0 else None,
+            "latency_seconds": {
+                "p50": round(percentile(latencies, 0.50), 4),
+                "p99": round(percentile(latencies, 0.99), 4),
+                "max": round(max(latencies), 4),
+            },
+            "shared_cache_hits": cache.get("hits"),
+            "requeues": stats.get("requeues"),
+            "dispatch_failures": stats.get("dispatch_failures"),
+            "per_node_dispatched": {
+                node["id"]: node["dispatched"]
+                for node in stats["nodes"]["detail"]},
+            "cache_storm": storm,
+            "sse_fanout": fanout,
+        }, verdicts
+    finally:
+        for node in nodes:
+            node.stop()
+        coordinator.stop()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", default="1,2", metavar="LIST",
+                        help="comma-separated fleet sizes (worker daemons)")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent submitting clients")
+    parser.add_argument("--jobs-per-client", type=int, default=4)
+    parser.add_argument("--unique", type=int, default=6,
+                        help="distinct problems in the pool (repeats of a "
+                             "problem become cache-hit storms)")
+    parser.add_argument("--watchers", type=int, default=4,
+                        help="concurrent SSE followers of one job")
+    parser.add_argument("--base-delay", type=int, default=12,
+                        help="BMC depth of the smallest pool problem")
+    parser.add_argument("--delay-step", type=int, default=4)
+    parser.add_argument("--engine-workers", type=int, default=2,
+                        help="engine worker processes per daemon")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="per-job completion timeout (seconds)")
+    parser.add_argument("--out", default="BENCH_fleet.json")
+    parser.add_argument("--scratch", default=None,
+                        help="daemon scratch directory (default: a fresh "
+                             "tempdir)")
+    args = parser.parse_args(argv)
+
+    node_counts = [int(tok) for tok in args.workers.split(",") if tok]
+    if len(node_counts) < 2:
+        print("WARNING: fewer than 2 fleet sizes; scaling comparison "
+              "will be thin", file=sys.stderr)
+    pool = build_pool(args.unique, args.base_delay, args.delay_step)
+
+    import tempfile
+    scratch = args.scratch or tempfile.mkdtemp(prefix="bench-fleet-")
+
+    print("== baseline: single standalone daemon, {} unique problems"
+          .format(len(pool)), flush=True)
+    baseline, baseline_wall = baseline_run(
+        scratch, pool, args.timeout, args.engine_workers)
+    print("   solved in {:.2f}s".format(baseline_wall), flush=True)
+
+    results = []
+    mismatches = []
+    for node_count in node_counts:
+        print("== fleet: coordinator + {} worker daemon(s), {} clients x "
+              "{} jobs".format(node_count, args.clients,
+                               args.jobs_per_client), flush=True)
+        entry, verdicts = bench_fleet(scratch, node_count, pool, args)
+        for name, outcome in sorted(verdicts.items()):
+            if baseline.get(name) != outcome:
+                mismatches.append("nodes={} {}".format(node_count, name))
+        entry["verdicts_match_baseline"] = not mismatches
+        results.append(entry)
+        print("   {} jobs in {}s ({} jobs/s), p50 {}s p99 {}s, "
+              "cache storm {}/{} served cached (shared hits: {}), "
+              "fanout {}/{}".format(
+                  entry["jobs"], entry["wall_seconds"],
+                  entry["throughput_jobs_per_second"],
+                  entry["latency_seconds"]["p50"],
+                  entry["latency_seconds"]["p99"],
+                  entry["cache_storm"]["cached"],
+                  entry["cache_storm"]["jobs"],
+                  entry["shared_cache_hits"],
+                  entry["sse_fanout"]["terminal_frames_seen"],
+                  entry["sse_fanout"]["watchers"]), flush=True)
+
+    report = {
+        "bench": "fleet",
+        "summary": {
+            "fleet_sizes": node_counts,
+            "clients": args.clients,
+            "jobs_per_fleet_size": args.clients * args.jobs_per_client,
+            "unique_problems": len(pool),
+            "cpu_count": os.cpu_count(),
+            "baseline_seconds": round(baseline_wall, 3),
+            "verdicts_identical": not mismatches,
+            "verdict_mismatches": mismatches,
+        },
+        "baseline": {"wall_seconds": round(baseline_wall, 3),
+                     "unique_problems": len(pool)},
+        "results": results,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("\nwrote {}".format(args.out), flush=True)
+
+    if mismatches:
+        print("ERROR: verdict mismatch vs the single-daemon baseline: "
+              + ", ".join(mismatches), file=sys.stderr)
+        return 1
+    for entry in results:
+        fanout = entry["sse_fanout"]
+        if fanout["terminal_frames_seen"] < fanout["watchers"]:
+            print("ERROR: only {}/{} SSE watchers saw the terminal frame "
+                  "at nodes={}".format(fanout["terminal_frames_seen"],
+                                       fanout["watchers"], entry["nodes"]),
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,7 @@ from .generators import (
     add_multiplier_mixer,
     add_output_cone,
     add_shift_chain,
+    delay_line_pair,
     generate_benchmark,
 )
 from .suite import TABLE1_ROWS, SuiteRow, row_by_name, table1_suite
@@ -31,6 +32,7 @@ __all__ = [
     "add_multiplier_mixer",
     "add_output_cone",
     "add_shift_chain",
+    "delay_line_pair",
     "fig2_impl",
     "fig2_pair",
     "fig2_spec",

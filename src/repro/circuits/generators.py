@@ -244,3 +244,50 @@ def generate_benchmark(name, n_regs, n_inputs=4, n_outputs=None, seed=0,
         circuit.add_output(observe[0])
     circuit.validate()
     return circuit
+
+
+def delay_line_pair(delay, width=8):
+    """A pair whose BMC refutation depth — and hence runtime — is dialable.
+
+    The spec's single output is constantly 0.  The impl hides a one-hot
+    token at the far end of a ``delay``-register shift line; the token
+    reaches the output after exactly ``delay - 1`` cycles, so the pair is
+    inequivalent with its first counterexample at a known depth.  A
+    ``width``-input XOR mixing layer feeds parasitic registers to give
+    every unrolled frame real solver work: at width 8, ``delay=500`` is
+    roughly 1.5 s of BMC and ``delay=1000`` roughly 6 s on one 2025-era
+    core.  The fleet tests use it as a *finite* long-running job — long
+    enough to SIGKILL a worker mid-solve, deterministic enough that the
+    survivor's verdict must match a single daemon's.  Use matched-order
+    outputs (the output names differ deliberately).
+    """
+    if delay < 1:
+        raise ValueError("delay must be >= 1")
+    spec = Circuit("delay{}_spec".format(delay))
+    for w in range(width):
+        spec.add_input("a{}".format(w))
+    spec.add_register("z", "z", init=False)
+    spec.add_gate("o", GateType.BUF, ["z"])
+    spec.add_output("o")
+
+    impl = Circuit("delay{}_impl".format(delay))
+    for w in range(width):
+        impl.add_input("a{}".format(w))
+    impl.add_register("zero", "zero", init=False)
+    prev = "a0"
+    for w in range(1, width):
+        impl.add_gate("mix{}".format(w), GateType.XOR,
+                      [prev, "a{}".format(w)])
+        prev = "mix{}".format(w)
+    for w in range(width):
+        impl.add_register("m{}".format(w), prev, init=False)
+    # The mixing registers are anchored below the delay line (ANDed with
+    # the constant-0 register) so optimization cannot drop them, yet the
+    # token's arrival is unaffected.
+    impl.add_gate("mz", GateType.AND, ["m0", "zero"])
+    for i in range(delay):
+        src = "r{}".format(i + 1) if i + 1 < delay else "mz"
+        impl.add_register("r{}".format(i), src, init=(i == delay - 1))
+    impl.add_gate("out", GateType.BUF, ["r0"])
+    impl.add_output("out")
+    return spec, impl

@@ -9,12 +9,16 @@ Subcommands::
     repro-sec table1 [--scales small medium] [--optimize-level 2]
     repro-sec info circuit.bench
     repro-sec serve [--host 127.0.0.1] [--port 8439] [--workers 2]
+    repro-sec serve --coordinator [--dead-after 6]
+    repro-sec serve --join http://coordinator:8440 [--node-id w1]
     repro-sec remote {verify,status,cancel,watch,stats} --server URL ...
     repro-sec cache [--stats | --prune | --clear] [--cache-dir DIR]
 
 ``batch``, ``fuzz`` and ``table1`` accept ``--server URL`` to route their
 jobs through a running ``repro-sec serve`` daemon instead of a local
-scheduler (see ``docs/SERVER.md``).
+scheduler (see ``docs/SERVER.md``); ``URL`` may be a comma-separated
+endpoint list, and a fleet coordinator endpoint (``serve --coordinator``,
+see ``docs/FLEET.md``) is preferred automatically.
 
 Circuit files are ``.bench`` or BLIF (chosen by extension).  ``--json``
 prints the shared machine-readable serialization
@@ -405,6 +409,10 @@ def _cmd_serve(args):
     from .server import serve
     from .service import EventBus, JsonlEventWriter, LiveRenderer
 
+    if args.coordinator and args.join:
+        print("serve: --coordinator and --join are mutually exclusive",
+              file=sys.stderr)
+        return 2
     bus = EventBus()
     if not args.quiet:
         bus.subscribe(LiveRenderer(verbose=args.verbose))
@@ -413,6 +421,37 @@ def _cmd_serve(args):
         writer = JsonlEventWriter(args.events)
         bus.subscribe(writer)
     try:
+        if args.coordinator:
+            from .fleet import serve_coordinator
+
+            return serve_coordinator(
+                host=args.host,
+                port=args.port,
+                store_dir=args.store_dir,
+                cache_dir=None if args.no_cache else args.cache_dir,
+                cache_max_entries=args.cache_max_entries,
+                cache_max_bytes=args.cache_max_bytes,
+                queue_limit=args.queue_limit,
+                rate=args.rate,
+                burst=args.burst,
+                dead_after=args.dead_after,
+                heartbeat_interval=args.heartbeat,
+                ready_file=args.ready_file,
+                bus=bus,
+            )
+        trusted = list(args.trusted_proxy or ())
+        remote_cache_url = args.cache_url
+        if args.join:
+            import urllib.parse
+
+            joined = urllib.parse.urlsplit(args.join)
+            if joined.hostname and joined.hostname not in trusted:
+                # The coordinator proxies client traffic to this node:
+                # trust its X-Forwarded-For so rate limiting buckets by
+                # the real downstream client.
+                trusted.append(joined.hostname)
+            if remote_cache_url is None and not args.no_remote_cache:
+                remote_cache_url = args.join
         return serve(
             host=args.host,
             port=args.port,
@@ -427,6 +466,12 @@ def _cmd_serve(args):
             rate=args.rate,
             burst=args.burst,
             ready_file=args.ready_file,
+            node_id=args.node_id,
+            join_url=args.join,
+            advertise_host=args.advertise_host,
+            heartbeat_interval=args.heartbeat,
+            trusted_proxies=trusted,
+            remote_cache_url=remote_cache_url,
             bus=bus,
         )
     finally:
@@ -779,6 +824,39 @@ def build_parser():
     p_serve.add_argument("--ready-file", metavar="FILE",
                          help="write {host, port, pid, url} JSON once "
                               "listening (for scripts and tests)")
+    p_serve.add_argument("--coordinator", action="store_true",
+                         help="run the fleet coordinator instead of a "
+                              "worker daemon: shard submitted jobs across "
+                              "nodes that --join this URL")
+    p_serve.add_argument("--join", metavar="URL",
+                         help="join the fleet behind the coordinator at "
+                              "URL (register, heartbeat, share its "
+                              "result cache)")
+    p_serve.add_argument("--node-id", metavar="NAME",
+                         help="stable node name within the fleet "
+                              "(default: generated per process)")
+    p_serve.add_argument("--advertise-host", metavar="HOST",
+                         help="host the coordinator should dial back on "
+                              "(default: the bind host)")
+    p_serve.add_argument("--heartbeat", type=float, default=2.0,
+                         metavar="SECONDS",
+                         help="worker heartbeat interval / coordinator "
+                              "heartbeat expectation")
+    p_serve.add_argument("--dead-after", type=float, default=6.0,
+                         metavar="SECONDS",
+                         help="coordinator only: declare a node dead and "
+                              "requeue its jobs after this much heartbeat "
+                              "silence")
+    p_serve.add_argument("--trusted-proxy", action="append", metavar="IP",
+                         help="honor X-Forwarded-For from this peer for "
+                              "rate limiting (repeatable; --join adds the "
+                              "coordinator host automatically)")
+    p_serve.add_argument("--cache-url", metavar="URL",
+                         help="remote result-cache base URL (default: the "
+                              "--join coordinator)")
+    p_serve.add_argument("--no-remote-cache", action="store_true",
+                         help="do not share the coordinator's result "
+                              "cache when joining a fleet")
     p_serve.add_argument("--events", metavar="FILE",
                          help="append the JSONL event stream to FILE")
     p_serve.add_argument("--quiet", action="store_true",

@@ -219,7 +219,7 @@ def remote_job_result(record):
 
 
 class RemoteScheduler:
-    """Drop-in ``run(jobs)`` that routes a batch through a daemon.
+    """Drop-in ``run(jobs)`` that routes a batch through one or more daemons.
 
     Accepts the same :class:`~repro.service.job.JobSpec` lists as
     :class:`~repro.service.scheduler.BatchScheduler` and returns
@@ -227,35 +227,86 @@ class RemoteScheduler:
     (queued / cached / finished) are emitted on ``bus`` so the live
     renderer works unchanged; engine-internal progress stays on the daemon
     (use ``repro-sec remote watch`` for it).
+
+    ``client`` may be one endpoint (a :class:`ServerClient` or URL), a
+    comma-separated URL string, or a list of endpoints.  The scheduler is
+    *coordinator-aware*: endpoints whose ``/v1/healthz`` reports
+    ``role: coordinator`` (a :class:`repro.fleet.CoordinatorServer`) are
+    preferred exclusively — the coordinator shards across its fleet, so
+    client-side spreading would fight its placement.  With only plain
+    worker daemons, submission chunks round-robin across the endpoints,
+    and a chunk whose endpoint fails hard is retried on the next one.
     """
 
     def __init__(self, client, bus=None, poll=0.2, timeout=None,
                  chunk_size=8):
         if isinstance(client, str):
-            client = ServerClient(client)
-        self.client = client
+            client = [url.strip() for url in client.split(",")
+                      if url.strip()]
+        if not isinstance(client, (list, tuple)):
+            client = [client]
+        self.clients = [ServerClient(c) if isinstance(c, str) else c
+                        for c in client]
+        if not self.clients:
+            raise ValueError("RemoteScheduler needs at least one endpoint")
+        self.client = self.clients[0]
         self.bus = bus or EventBus()
         self.poll = poll
         self.timeout = timeout
         self.chunk_size = chunk_size
+        self._endpoints = None
+
+    def endpoints(self):
+        """The endpoints submissions go to, after the one-time role probe."""
+        if self._endpoints is None:
+            if len(self.clients) == 1:
+                self._endpoints = list(self.clients)
+            else:
+                coordinators = []
+                healthy = []
+                for client in self.clients:
+                    try:
+                        health = client.healthz()
+                    except ServerError:
+                        continue
+                    healthy.append(client)
+                    if health.get("role") == "coordinator":
+                        coordinators.append(client)
+                self._endpoints = (coordinators or healthy
+                                   or list(self.clients))
+        return self._endpoints
 
     def _submit_all(self, payloads, deadline):
-        """Submit in chunks, waiting out queue-full backpressure (429)."""
-        ids = []
-        for start in range(0, len(payloads), self.chunk_size):
+        """Submit in chunks; returns ``[(endpoint, job_id), ...]``.
+
+        Chunks round-robin across :meth:`endpoints`; queue-full
+        backpressure (429) is waited out on the same endpoint, while a
+        hard failure rotates the chunk to the next endpoint (raising only
+        once every endpoint refused it).
+        """
+        endpoints = self.endpoints()
+        placed = []
+        for number, start in enumerate(
+                range(0, len(payloads), self.chunk_size)):
             chunk = payloads[start:start + self.chunk_size]
+            attempts = 0
             while True:
+                client = endpoints[(number + attempts) % len(endpoints)]
                 try:
-                    ids.extend(self.client.submit_payloads(chunk))
+                    ids = client.submit_payloads(chunk)
+                    placed.extend((client, job_id) for job_id in ids)
                     break
                 except ServerError as exc:
-                    if exc.status != 429:
+                    if exc.status == 429:
+                        if (deadline is not None
+                                and time.monotonic() > deadline):
+                            raise
+                        client.sleep(max(self.poll, 1.0))
+                        continue
+                    attempts += 1
+                    if attempts >= len(endpoints):
                         raise
-                    if (deadline is not None
-                            and time.monotonic() > deadline):
-                        raise
-                    self.client.sleep(max(self.poll, 1.0))
-        return ids
+        return placed
 
     def run(self, jobs):
         if not jobs:
@@ -271,15 +322,17 @@ class RemoteScheduler:
             payloads.append(payload)
             self.bus.emit(JOB_QUEUED, job=job.name, index=index,
                           method=job.method, remote=True)
-        ids = self._submit_all(payloads, deadline)
+        placed = self._submit_all(payloads, deadline)
         results = [None] * len(jobs)
-        pending = {job_id: index for index, job_id in enumerate(ids)}
+        pending = {job_id: (index, client)
+                   for index, (client, job_id) in enumerate(placed)}
         while pending:
             for job_id in list(pending):
-                record = self.client.job(job_id)
+                index, client = pending[job_id]
+                record = client.job(job_id)
                 if record["state"] not in ("done", "cancelled", "error"):
                     continue
-                index = pending.pop(job_id)
+                pending.pop(job_id)
                 job_result = remote_job_result(record)
                 job_result.name = jobs[index].name
                 results[index] = job_result

@@ -1,0 +1,71 @@
+"""Deterministic shard assignment for the verification fleet.
+
+The coordinator routes every job to exactly one worker node via
+*rendezvous (highest-random-weight) hashing*: each (node, key) pair gets a
+pseudo-random score and the key is owned by the live node with the highest
+score.  That choice buys the three properties the fleet leans on:
+
+* **deterministic** — the owner is a pure function of ``(key, live-node
+  set)``, so any coordinator replica (or a restarted one) computes the
+  same routing without shared state;
+* **total** — every key has exactly one owner whenever at least one node
+  is alive;
+* **minimally disruptive** — when a node dies, only the keys that node
+  owned move (each to its runner-up node); every other key keeps its
+  owner, so a worker crash never reshuffles the healthy part of the
+  fleet.  Symmetrically, a joining node steals only the keys it now
+  scores highest on.
+
+Keys are arbitrary strings; the coordinator uses
+:func:`routing_key` — a structural hash of the submission payload with
+display-only fields (name, tags) stripped — so resubmissions of the same
+problem land on the same node and hit its warm local cache.
+"""
+
+import hashlib
+import json
+
+__all__ = ["assign_node", "assign_all", "routing_key"]
+
+
+def _score(node_id, key):
+    """The rendezvous score of ``node_id`` for ``key`` (32 opaque bytes)."""
+    payload = node_id.encode("utf-8") + b"\x00" + key.encode("utf-8")
+    return hashlib.sha256(payload).digest()
+
+
+def assign_node(key, node_ids):
+    """The owning node id for ``key`` among ``node_ids`` (None if empty).
+
+    Ties (impossible in practice for distinct node ids, but the contract
+    must be total) break toward the lexicographically smallest node id.
+    """
+    best_score = None
+    best_node = None
+    for node_id in node_ids:
+        score = _score(node_id, key)
+        if (best_score is None or score > best_score
+                or (score == best_score and node_id < best_node)):
+            best_score = score
+            best_node = node_id
+    return best_node
+
+
+def assign_all(keys, node_ids):
+    """Map every key to its owner: ``{key: node_id}``."""
+    nodes = list(node_ids)
+    return {key: assign_node(key, nodes) for key in keys}
+
+
+def routing_key(payload):
+    """The shard key of a submission payload.
+
+    Strips fields that do not change the verification problem (display
+    name, tags, client bookkeeping) so a renamed resubmission routes to
+    the same node; everything else — circuits, method, options, matching
+    modes — participates.
+    """
+    relevant = {key: value for key, value in payload.items()
+                if key not in ("name", "tags")}
+    canonical = json.dumps(relevant, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

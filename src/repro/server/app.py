@@ -159,11 +159,25 @@ class VerifyServer:
                  rate=20.0, burst=40, request_timeout=10.0,
                  sse_heartbeat=10.0, sse_write_timeout=10.0,
                  poll_interval=0.02, history_limit=2000, bus=None,
-                 ready_file=None, refine_workers=0):
+                 ready_file=None, refine_workers=0, node_id=None,
+                 join_url=None, advertise_host=None, heartbeat_interval=2.0,
+                 trusted_proxies=(), remote_cache_url=None):
         self.host = host
         self.port = port
         self.queue_limit = queue_limit
         self.retries = retries
+        # Fleet membership (repro.fleet): a node id for healthz/debugging,
+        # the coordinator to join (None = standalone daemon), and the
+        # proxies whose X-Forwarded-For header identifies the real client
+        # for rate limiting.
+        self.node_id = node_id or "node-{}-{}".format(
+            os.getpid(), os.urandom(2).hex())
+        self.join_url = join_url
+        self.advertise_host = advertise_host
+        self.heartbeat_interval = heartbeat_interval
+        self.trusted_proxies = frozenset(trusted_proxies or ())
+        self._member = None
+        self._member_task = None
         # Daemon-wide default for sat_sweep jobs that don't pin their own
         # refine_workers; becomes part of the job's cache key (a serial and
         # a parallel run produce identical verdicts but different stats).
@@ -181,6 +195,14 @@ class VerifyServer:
             self.cache = ResultCache(cache_dir,
                                      max_entries=cache_max_entries,
                                      max_bytes=cache_max_bytes)
+        if remote_cache_url:
+            # Fleet-shared far tier: local misses consult the
+            # coordinator's cache, local solves are published to it, so
+            # any node serves any fingerprint once one node solved it.
+            from ..fleet.cachenet import CacheClient, TieredCache
+
+            self.cache = TieredCache(self.cache,
+                                     CacheClient(remote_cache_url))
         self.pool = WorkerPool(workers=workers, bus=self.bus,
                                job_time_limit=job_time_limit, grace=grace)
         self.limiter = RateLimiter(rate=rate, burst=burst)
@@ -231,10 +253,25 @@ class VerifyServer:
         self._pump_task = asyncio.ensure_future(self._pump())
         self.bus.emit(SERVER_STARTED, host=self.host, port=self.port,
                       workers=self.pool.workers, pid=os.getpid(),
+                      node=self.node_id,
                       jobs_recovered=len(self.store))
+        if self.join_url:
+            # Fleet mode: announce this node to the coordinator and keep
+            # the membership lease alive.  The advertise URL must carry
+            # the *bound* port (the daemon may have asked for port 0).
+            from ..fleet.node import FleetMember
+
+            advertise = "http://{}:{}".format(
+                self.advertise_host or
+                ("127.0.0.1" if self.host in ("", "0.0.0.0") else self.host),
+                self.port)
+            self._member = FleetMember(self.join_url, self.node_id,
+                                       advertise, self.bus,
+                                       interval=self.heartbeat_interval)
+            self._member_task = asyncio.ensure_future(self._member.run())
         if self.ready_file:
             payload = {"host": self.host, "port": self.port,
-                       "pid": os.getpid(),
+                       "pid": os.getpid(), "node": self.node_id,
                        "url": self.url()}
             tmp = self.ready_file + ".tmp"
             with open(tmp, "w") as fh:
@@ -278,6 +315,16 @@ class VerifyServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._member_task is not None:
+            self._member_task.cancel()
+            try:
+                await self._member_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._member_task = None
+        if self._member is not None:
+            await self._member.leave()
+            self._member = None
         if self._pump_task is not None:
             self._pump_task.cancel()
             try:
@@ -468,7 +515,8 @@ class VerifyServer:
         if path == "/v1/healthz":
             if method != "GET":
                 raise HttpError(405, "method not allowed")
-            return json_response(200, {"status": "ok",
+            return json_response(200, {"status": "ok", "role": "worker",
+                                       "node": self.node_id,
                                        "uptime_seconds": self._uptime()})
         self._throttle(request)
         if path == "/v1/stats":
@@ -502,16 +550,37 @@ class VerifyServer:
             raise HttpError(405, "method not allowed")
         raise HttpError(404, "unknown path {!r}".format(path))
 
+    def _client_key(self, request):
+        """The rate-limit bucket key for one request.
+
+        Keyed by socket peer, except when the request arrives from a
+        *trusted proxy* (the fleet coordinator) carrying an
+        ``X-Forwarded-For`` header: then the first forwarded hop is the
+        key, so distinct downstream clients fill distinct buckets instead
+        of the whole fleet's traffic collapsing into the coordinator's
+        one.  The header is ignored from untrusted peers — anyone can
+        send it, only the coordinator is believed.
+        """
+        if request.peer in self.trusted_proxies:
+            forwarded = request.headers.get("x-forwarded-for")
+            if forwarded:
+                client = forwarded.split(",")[0].strip()
+                if client:
+                    return client
+        return request.peer
+
     def _throttle(self, request):
-        wait = self.limiter.check(request.peer)
+        key = self._client_key(request)
+        wait = self.limiter.check(key)
         if wait > 0.0:
             retry_after = max(1, int(math.ceil(min(wait, 3600.0))))
-            self.bus.emit(CLIENT_THROTTLED, client=request.peer,
+            self.bus.emit(CLIENT_THROTTLED, client=key,
                           path=request.path, retry_after=retry_after)
             raise HttpError(429, "rate limit exceeded",
                             headers={"Retry-After": str(retry_after)})
 
     def _submit(self, request):
+        client = self._client_key(request)
         body = request.json()
         many = isinstance(body, dict) and "jobs" in body
         payloads = body["jobs"] if many else [body]
@@ -521,7 +590,7 @@ class VerifyServer:
         counts = self.store.counts()
         backlog = counts[store_mod.QUEUED] + counts[store_mod.RUNNING]
         if backlog + len(normalized) > self.queue_limit:
-            self.bus.emit(CLIENT_THROTTLED, client=request.peer,
+            self.bus.emit(CLIENT_THROTTLED, client=client,
                           path=request.path, reason="queue full",
                           backlog=backlog)
             raise HttpError(429, "job queue is full ({} of {})".format(
@@ -529,10 +598,10 @@ class VerifyServer:
                 headers={"Retry-After": "2"})
         ids = []
         for payload in normalized:
-            record = self.store.create(payload, client=request.peer)
+            record = self.store.create(payload, client=client)
             ids.append(record.id)
             self.bus.emit(JOB_SUBMITTED, job=record.id, name=record.name,
-                          method=payload["method"], client=request.peer)
+                          method=payload["method"], client=client)
         response = {"ids": ids} if many else {"id": ids[0]}
         response["state"] = store_mod.QUEUED
         return json_response(202, response)

@@ -34,7 +34,8 @@ class JobRecord:
 
     def __init__(self, job_id, payload, state=QUEUED, result=None,
                  error=None, submitted_at=None, started_at=None,
-                 finished_at=None, requeues=0, client=None, cached=False):
+                 finished_at=None, requeues=0, client=None, cached=False,
+                 meta=None):
         self.id = job_id
         self.payload = dict(payload)
         self.state = state
@@ -47,6 +48,10 @@ class JobRecord:
         self.requeues = requeues
         self.client = client
         self.cached = cached
+        # Owner-side bookkeeping that is not part of the payload: the
+        # fleet coordinator keeps its node assignment here ({"node": ...,
+        # "remote_id": ...}), persisted so failover survives restarts.
+        self.meta = dict(meta or {})
 
     @property
     def name(self):
@@ -69,6 +74,7 @@ class JobRecord:
             "requeues": self.requeues,
             "client": self.client,
             "cached": self.cached,
+            "meta": self.meta,
         }
 
     @classmethod
@@ -84,6 +90,7 @@ class JobRecord:
             requeues=data.get("requeues", 0),
             client=data.get("client"),
             cached=data.get("cached", False),
+            meta=data.get("meta"),
         )
 
     def public_dict(self):

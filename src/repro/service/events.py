@@ -66,6 +66,14 @@ JOB_SUBMITTED = "job_submitted"
 JOB_CANCELLED = "job_cancelled"
 JOB_REQUEUED = "job_requeued"
 CLIENT_THROTTLED = "client_throttled"
+# Events emitted by the distributed fleet (repro.fleet): worker membership
+# as seen by both sides (a worker emits its own joins/leaves, the
+# coordinator emits joins it accepts and deaths its reaper declares) and
+# the coordinator handing a job to a worker node.
+NODE_JOINED = "node_joined"
+NODE_LEFT = "node_left"
+NODE_DIED = "node_died"
+JOB_DISPATCHED = "job_dispatched"
 
 
 class Event:

@@ -1,0 +1,94 @@
+"""Property tests for rendezvous shard assignment (:mod:`repro.fleet.shard`).
+
+The coordinator's failure model leans on three properties of
+:func:`assign_node` — deterministic, total, minimally disruptive — so
+each is pinned down as a hypothesis property over arbitrary keys and
+node sets, not just examples.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.shard import assign_all, assign_node, routing_key
+
+node_ids = st.lists(
+    st.text(string.ascii_lowercase + string.digits + "-", min_size=1,
+            max_size=12),
+    min_size=1, max_size=8, unique=True)
+
+keys = st.text(min_size=0, max_size=64)
+
+
+@given(key=keys, nodes=node_ids)
+def test_deterministic_and_order_independent(key, nodes):
+    """The owner is a pure function of (key, node *set*) — list order,
+    repetition and repeated evaluation must not change it."""
+    owner = assign_node(key, nodes)
+    assert owner == assign_node(key, list(reversed(nodes)))
+    assert owner == assign_node(key, sorted(nodes))
+    assert owner == assign_node(key, nodes + [nodes[0]])
+    assert owner == assign_node(key, nodes)
+
+
+@given(keys=st.lists(keys, min_size=1, max_size=20), nodes=node_ids)
+def test_total_over_live_nodes(keys, nodes):
+    """Every key gets exactly one owner, and it is a live node."""
+    owners = assign_all(keys, nodes)
+    assert set(owners) == set(keys)
+    for owner in owners.values():
+        assert owner in nodes
+
+
+def test_no_live_nodes_means_no_owner():
+    assert assign_node("anything", []) is None
+
+
+@given(keys=st.lists(keys, min_size=1, max_size=30, unique=True),
+       nodes=node_ids)
+@settings(max_examples=200)
+def test_node_death_is_minimally_disruptive(keys, nodes):
+    """Removing one node moves ONLY the keys that node owned.
+
+    This is the fleet's requeue bill: when a worker dies, jobs routed to
+    the survivors stay exactly where they are — nothing reshuffles.
+    """
+    before = assign_all(keys, nodes)
+    for dead in nodes:
+        survivors = [node for node in nodes if node != dead]
+        if not survivors:
+            continue
+        after = assign_all(keys, survivors)
+        for key in keys:
+            if before[key] == dead:
+                assert after[key] in survivors
+            else:
+                assert after[key] == before[key], (
+                    "key {!r} moved from {!r} to {!r} although {!r} "
+                    "died".format(key, before[key], after[key], dead))
+
+
+@given(keys=st.lists(keys, min_size=1, max_size=30, unique=True),
+       nodes=node_ids,
+       joiner=st.text(string.ascii_lowercase + string.digits + "-",
+                      min_size=1, max_size=12))
+@settings(max_examples=200)
+def test_node_join_steals_only_for_itself(keys, nodes, joiner):
+    """A joining node only ever *gains* keys; it never causes a key to
+    move between two pre-existing nodes."""
+    if joiner in nodes:
+        return
+    before = assign_all(keys, nodes)
+    after = assign_all(keys, nodes + [joiner])
+    for key in keys:
+        assert after[key] in (before[key], joiner)
+
+
+def test_routing_key_ignores_display_fields():
+    payload = {"spec_bench": "x", "impl_bench": "y", "method": "bmc",
+               "options": {"max_depth": 10}, "name": "a", "tags": {"t": 1}}
+    renamed = dict(payload, name="b", tags={"t": 2})
+    different = dict(payload, options={"max_depth": 11})
+    assert routing_key(payload) == routing_key(renamed)
+    assert routing_key(payload) != routing_key(different)
