@@ -1,0 +1,81 @@
+"""Interop layer benchmarks: AIGER encode/decode throughput and the
+format-independent fingerprint.
+
+The AIGER path sits on the fuzz loop's hot path (the ``aiger_roundtrip``
+transform) and under every cache key (``aig_fingerprint``), so encode /
+decode / fingerprint cost on suite-sized circuits is worth tracking.
+Datapath generator timings ride along: they bound the fixed-seed fuzz
+budget CI's interop-smoke job pays per case.
+"""
+
+import pytest
+
+from repro.circuits import datapath_pair, row_by_name
+from repro.interop.aiger import (
+    dumps_aiger_ascii,
+    dumps_aiger_binary,
+    loads_aiger,
+    reencode,
+)
+from repro.interop.fingerprint import aig_fingerprint
+from repro.netlist.aig import from_circuit, to_circuit
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def suite_aig():
+    circuit = row_by_name("s953").spec()
+    aig, _ = from_circuit(circuit)
+    return circuit, aig
+
+
+def test_binary_aiger_encode(benchmark, suite_aig):
+    _, aig = suite_aig
+    blob = run_once(benchmark, lambda: dumps_aiger_binary(aig))
+    benchmark.extra_info["bytes"] = len(blob)
+    benchmark.extra_info["ands"] = len(aig.ands)
+
+
+def test_binary_aiger_decode(benchmark, suite_aig):
+    _, aig = suite_aig
+    blob = dumps_aiger_binary(aig)
+    decoded = run_once(benchmark, lambda: loads_aiger(blob))
+    assert len(decoded.ands) == len(reencode(aig).ands)
+
+
+def test_ascii_vs_binary_size(benchmark, suite_aig):
+    _, aig = suite_aig
+
+    def both():
+        return dumps_aiger_ascii(aig), dumps_aiger_binary(aig)
+
+    text, blob = run_once(benchmark, both)
+    benchmark.extra_info["ascii_bytes"] = len(text)
+    benchmark.extra_info["binary_bytes"] = len(blob)
+    benchmark.extra_info["ratio"] = round(len(blob) / len(text), 3)
+
+
+def test_full_circuit_round_trip(benchmark, suite_aig):
+    circuit, _ = suite_aig
+
+    def round_trip():
+        aig, _ = from_circuit(circuit)
+        return to_circuit(loads_aiger(dumps_aiger_binary(aig)))
+
+    back = run_once(benchmark, round_trip)
+    assert len(back.registers) == len(circuit.registers)
+
+
+def test_fingerprint_cost(benchmark, suite_aig):
+    circuit, _ = suite_aig
+    digest = run_once(benchmark, lambda: aig_fingerprint(circuit))
+    assert len(digest) == 64
+
+
+@pytest.mark.parametrize("family", ["adder", "multiplier", "shifter"])
+def test_datapath_generation(benchmark, family):
+    spec, impl = run_once(benchmark,
+                          lambda: datapath_pair(family, width=3, seed=0))
+    benchmark.extra_info["spec_gates"] = spec.num_gates
+    benchmark.extra_info["impl_gates"] = impl.num_gates

@@ -12,21 +12,25 @@ from .paper_example import (
 )
 from .induction_hard import onehot_chain_pair
 from .generators import (
+    DATAPATH_FAMILIES,
     add_control_fsm,
     add_counter,
     add_lfsr,
     add_multiplier_mixer,
     add_output_cone,
     add_shift_chain,
+    datapath_pair,
     delay_line_pair,
     generate_benchmark,
 )
 from .suite import TABLE1_ROWS, SuiteRow, row_by_name, table1_suite
 
 __all__ = [
+    "DATAPATH_FAMILIES",
     "TABLE1_ROWS",
     "SuiteRow",
     "add_control_fsm",
+    "datapath_pair",
     "add_counter",
     "add_lfsr",
     "add_multiplier_mixer",

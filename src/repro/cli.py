@@ -20,10 +20,14 @@ scheduler (see ``docs/SERVER.md``); ``URL`` may be a comma-separated
 endpoint list, and a fleet coordinator endpoint (``serve --coordinator``,
 see ``docs/FLEET.md``) is preferred automatically.
 
-Circuit files are ``.bench`` or BLIF (chosen by extension).  ``--json``
-prints the shared machine-readable serialization
-(:meth:`repro.reach.SecResult.as_dict`) used by the service cache and
-event stream.
+Circuit files are ``.bench``, BLIF (``.blif``), AIGER ascii (``.aag``) or
+AIGER binary (``.aig``), dispatched by extension; anything else is
+rejected with the supported list.  ``--json`` prints the shared
+machine-readable serialization (:meth:`repro.reach.SecResult.as_dict`)
+used by the service cache and event stream.  ``verify`` and ``fuzz``
+accept ``--cross-check`` to compare verdicts against ABC/yosys when those
+binaries are installed (skipped with a logged reason when not — see
+``docs/FORMATS.md``).
 """
 
 import argparse
@@ -31,13 +35,25 @@ import json
 import sys
 
 from . import METHODS, verify
-from .netlist import bench, blif
 
 
 def _load_circuit(path):
-    if str(path).endswith((".blif", ".BLIF")):
-        return blif.load(path)
-    return bench.load(path)
+    """Load any supported circuit format, dispatched by extension.
+
+    Unknown extensions and malformed files exit with status 2 and a
+    message naming the supported extensions, instead of a traceback.
+    """
+    from .errors import ParseError
+    from .interop.formats import load_circuit
+
+    try:
+        return load_circuit(path)
+    except ParseError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        raise SystemExit(2)
+    except FileNotFoundError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        raise SystemExit(2)
 
 
 def _print_result_text(result):
@@ -195,14 +211,45 @@ def _cmd_verify(args):
                   file=sys.stderr)
         if writer is not None:
             writer.close()
+    cross = None
+    if args.cross_check:
+        from .interop.oracle import cross_check
+
+        cross = cross_check(spec, impl, result.equivalent)
     if args.json:
         payload = result.as_dict()
         payload["spec"] = str(args.spec)
         payload["impl"] = str(args.impl)
+        if cross is not None:
+            payload["cross_check"] = {
+                "ran": cross["ran"],
+                "skipped_reason": cross["skipped_reason"],
+                "verdicts": [v.to_dict() for v in cross["verdicts"]],
+                "agreements": cross["agreements"],
+                "disagreements": cross["disagreements"],
+            }
         print(json.dumps(payload, sort_keys=True))
     else:
         _print_result_text(result)
+        if cross is not None:
+            _print_cross_check(cross)
     return _result_exit_code(result)
+
+
+def _print_cross_check(cross):
+    if not cross["ran"]:
+        print("cross-check: skipped ({})".format(cross["skipped_reason"]))
+        return
+    for verdict in cross["verdicts"]:
+        state = {True: "equivalent", False: "NOT equivalent",
+                 None: "inconclusive"}[verdict.verdict]
+        marker = ""
+        if verdict.tool in cross["disagreements"]:
+            marker = "  << DISAGREES with our verdict"
+        elif verdict.tool in cross["agreements"]:
+            marker = "  (agrees)"
+        print("cross-check: {} -> {} [{:.2f}s] {}{}".format(
+            verdict.tool, state, verdict.elapsed, verdict.reason, marker))
 
 
 def _cmd_batch(args):
@@ -312,6 +359,8 @@ def _cmd_fuzz(args):
         cache=cache,
         job_time_limit=args.time_limit,
         scheduler=scheduler,
+        cross_check=args.cross_check,
+        datapath_probability=args.datapath_probability,
     )
     try:
         report = fuzzer.run(iterations=args.iterations,
@@ -358,6 +407,16 @@ class _FuzzNarrator:
             print("  corpus {} {} ({})".format(
                 data["entry"], data["path"],
                 "new" if data["new"] else "duplicate"))
+        elif event.type == "fuzz_cross_check_skipped":
+            print("  cross-check skipped: {}".format(data["reason"]))
+        elif event.type == "fuzz_cross_check" and self.verbose:
+            verdicts = " ".join(
+                "{}={}".format(v["tool"],
+                               {True: "eq", False: "neq", None: "?"}[
+                                   v["verdict"]])
+                for v in data["verdicts"])
+            print("  {} cross-check ours={} {}".format(
+                event.job, data["ours"], verdicts))
 
 
 def _print_fuzz_summary(report):
@@ -627,9 +686,19 @@ def _cmd_cache(args):
 
 
 def _cmd_info(args):
-    circuit = _load_circuit(args.circuit)
-    for key, value in circuit.stats().items():
+    from .errors import ParseError
+    from .interop.formats import format_info
+
+    try:
+        info = format_info(args.circuit)
+    except (ParseError, FileNotFoundError) as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    print("format: {}".format(info["format"]))
+    for key, value in info["circuit"].stats().items():
         print("{}: {}".format(key, value))
+    header = info["aiger"]
+    print("aiger: M={M} I={I} L={L} O={O} A={A}".format(**header))
     return 0
 
 
@@ -698,6 +767,11 @@ def build_parser():
                           help="bmc only: functionally reduce the unrolled "
                                "frames (FRAIG-BMC); identical verdicts and "
                                "shortest counterexamples")
+    p_verify.add_argument("--cross-check", action="store_true",
+                          help="also run ABC (dsec/cec) and yosys "
+                               "(equiv_induct) on the pair and compare "
+                               "verdicts; skips with a logged reason when "
+                               "the binaries are not installed")
     p_verify.set_defaults(func=_cmd_verify)
 
     p_batch = sub.add_parser(
@@ -775,6 +849,15 @@ def build_parser():
     p_fuzz.add_argument("--server", metavar="URL",
                         help="run the engine battery on a repro-sec serve "
                              "daemon (shrinking stays local)")
+    p_fuzz.add_argument("--cross-check", action="store_true",
+                        help="also judge every case with ABC/yosys when "
+                             "installed; conclusive disagreements become "
+                             "findings (skips gracefully when absent)")
+    p_fuzz.add_argument("--datapath-probability", type=float, default=0.2,
+                        metavar="P",
+                        help="fraction of cases built from the arithmetic "
+                             "datapath generators instead of random motif "
+                             "benchmarks (1.0 = datapath only)")
     p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_table = sub.add_parser("table1", help="run the Table-1 experiment")

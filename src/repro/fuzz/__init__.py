@@ -34,6 +34,7 @@ from .generate import (
 from .harness import (
     CROSS_ENGINE,
     DEFAULT_FUZZ_ENGINES,
+    EXTERNAL_DISAGREEMENT,
     FALSE_PROOF,
     FALSE_REFUTATION,
     INVALID_CEX,
@@ -51,6 +52,7 @@ __all__ = [
     "DEFAULT_FUZZ_ENGINES",
     "DifferentialFuzzer",
     "EQUIVALENT",
+    "EXTERNAL_DISAGREEMENT",
     "FALSE_PROOF",
     "FALSE_REFUTATION",
     "FuzzCase",

@@ -18,7 +18,7 @@ import json
 import os
 import tempfile
 
-from .generate import expected_label
+from .generate import expected_label, recipe_source_format
 
 CORPUS_FORMAT_VERSION = 1
 
@@ -42,11 +42,17 @@ class CorpusEntry:
     def expected(self):
         return expected_label(self.recipe)
 
+    @property
+    def source_format(self):
+        """``"aiger"`` for AIGER-born pairs, else ``"generated"``."""
+        return recipe_source_format(self.recipe)
+
     def as_dict(self):
         return {
             "format": CORPUS_FORMAT_VERSION,
             "id": self.id,
             "expected": self.expected,
+            "source_format": self.source_format,
             "recipe": self.recipe,
             "finding": self.finding,
             "meta": self.meta,

@@ -5,11 +5,16 @@ rebuilds a (spec, impl) pair:
 
 * ``base`` — parameters for
   :func:`repro.circuits.generators.generate_benchmark` (everything there is
-  deterministic in the seed);
-* ``transforms`` — a chain of transformation steps applied to the base to
-  derive the implementation.  Equivalence-preserving steps (``retime``,
-  ``optimize``, ``xor_reencode``) keep the pair equivalent *by
-  construction*; a ``fault`` step
+  deterministic in the seed); *or* ``datapath`` — parameters for
+  :func:`repro.circuits.generators.datapath_pair`, whose spec and impl are
+  two structurally different constructions of one arithmetic function
+  (its optional ``bug`` key plants a known arithmetic bug, making the pair
+  inequivalent by construction — ``fault`` steps are never added on top);
+* ``transforms`` — a chain of transformation steps applied to derive (or
+  further derive) the implementation.  Equivalence-preserving steps
+  (``retime``, ``optimize``, ``xor_reencode``, ``aiger_roundtrip`` — a
+  lossless trip through the binary AIGER writer and reader) keep the
+  pair's label *by construction*; a ``fault`` step
   (:func:`repro.transform.mutate.inject_distinguishable_fault`) makes it
   inequivalent *with a simulation witness*.
 
@@ -22,7 +27,11 @@ reachability baseline in ``tests/transform/test_oracles.py``.
 
 import random
 
-from ..circuits.generators import generate_benchmark
+from ..circuits.generators import (
+    DATAPATH_FAMILIES,
+    datapath_pair,
+    generate_benchmark,
+)
 from ..transform import inject_distinguishable_fault, optimize, retime, xor_reencode
 
 #: Keys generate_benchmark accepts; guards recipes loaded from disk.
@@ -30,6 +39,9 @@ _BASE_KEYS = frozenset(
     ("name", "n_regs", "n_inputs", "n_outputs", "seed",
      "deep_counter_bits", "mixer_width")
 )
+
+#: Keys datapath_pair accepts; guards recipes loaded from disk.
+_DATAPATH_KEYS = frozenset(("family", "width", "bug", "seed"))
 
 EQUIVALENT = "equivalent"
 INEQUIVALENT = "inequivalent"
@@ -41,6 +53,14 @@ def build_base(base):
     if unknown:
         raise ValueError("unknown base keys: {}".format(sorted(unknown)))
     return generate_benchmark(**base)
+
+
+def build_datapath(params):
+    """Instantiate the (spec, impl) pair of a datapath recipe."""
+    unknown = set(params) - _DATAPATH_KEYS
+    if unknown:
+        raise ValueError("unknown datapath keys: {}".format(sorted(unknown)))
+    return datapath_pair(**params)
 
 
 def apply_transform(circuit, step):
@@ -61,6 +81,17 @@ def apply_transform(circuit, step):
             circuit, seed=step.get("seed", 0),
             frames=step.get("frames", 32), width=step.get("width", 64))
         return mutated
+    if kind == "aiger_roundtrip":
+        # Lossless by construction: Circuit -> AIG -> binary AIGER bytes ->
+        # AIG -> Circuit.  Exercises the interop path inside the fuzz loop;
+        # input/register names survive via the symbol table so matching by
+        # name still works.
+        from ..interop.aiger import dumps_aiger_binary, loads_aiger
+        from ..netlist.aig import from_circuit, to_circuit
+
+        aig, _ = from_circuit(circuit)
+        return to_circuit(loads_aiger(dumps_aiger_binary(aig)),
+                          name=circuit.name + "_aig")
     raise ValueError("unknown transform kind {!r}".format(kind))
 
 
@@ -71,8 +102,11 @@ def build_pair(recipe):
     cannot find a simulation-distinguishable mutation on the (possibly
     shrunk) base — callers treat that recipe as unusable.
     """
-    spec = build_base(recipe["base"])
-    impl = spec
+    if "datapath" in recipe:
+        spec, impl = build_datapath(recipe["datapath"])
+    else:
+        spec = build_base(recipe["base"])
+        impl = spec
     for step in recipe.get("transforms", ()):
         impl = apply_transform(impl, step)
     if impl is spec:
@@ -81,11 +115,23 @@ def build_pair(recipe):
 
 
 def expected_label(recipe):
-    """The oracle verdict implied by the recipe's transform chain."""
+    """The oracle verdict implied by the recipe's construction."""
+    if recipe.get("datapath", {}).get("bug"):
+        return INEQUIVALENT
     for step in recipe.get("transforms", ()):
         if step.get("kind") == "fault":
             return INEQUIVALENT
     return EQUIVALENT
+
+
+def recipe_source_format(recipe):
+    """Where the pair's circuits come from, recorded in corpus entries:
+    ``"aiger"`` when the impl passed through the AIGER writer/reader,
+    else ``"generated"``."""
+    for step in recipe.get("transforms", ()):
+        if step.get("kind") == "aiger_roundtrip":
+            return "aiger"
+    return "generated"
 
 
 class FuzzCase:
@@ -124,35 +170,22 @@ class FuzzCase:
 
 # The equivalence-preserving chains the fuzzer samples from.  Retiming and
 # optimization mirror the paper's benchmark synthesis; xor_reencode is the
-# re-encoding stressor; stacked chains destroy the most structure.
+# re-encoding stressor; aiger_roundtrip re-expresses the impl through the
+# binary AIGER writer/reader; stacked chains destroy the most structure.
 _EQUIV_CHAINS = (
     ("retime",),
     ("optimize",),
     ("xor_reencode",),
+    ("aiger_roundtrip",),
     ("retime", "optimize"),
     ("optimize", "xor_reencode"),
+    ("optimize", "aiger_roundtrip"),
     ("retime", "optimize", "xor_reencode"),
+    ("retime", "aiger_roundtrip", "optimize"),
 )
 
 
-def make_recipe(seed, max_regs=9, min_regs=4, fault_probability=0.45):
-    """A random recipe, deterministic in ``seed``.
-
-    Sizes are kept small on purpose: the battery includes the traversal
-    baseline, whose cost is exponential in the register count, and shrunk
-    corpus entries must replay in test time.
-    """
-    rng = random.Random(seed)
-    n_regs = rng.randint(min_regs, max_regs)
-    base = {
-        "name": "fz{}".format(seed),
-        "n_regs": n_regs,
-        "n_inputs": rng.randint(2, 4),
-        "n_outputs": rng.randint(1, 2),
-        "seed": rng.randrange(2 ** 30),
-        "deep_counter_bits": rng.choice((0, 0, 0, n_regs)),
-        "mixer_width": 0,
-    }
+def _equiv_transforms(rng):
     transforms = []
     for kind in rng.choice(_EQUIV_CHAINS):
         step = {"kind": kind, "seed": rng.randrange(2 ** 30)}
@@ -163,6 +196,41 @@ def make_recipe(seed, max_regs=9, min_regs=4, fault_probability=0.45):
         elif kind == "xor_reencode":
             step["pairs"] = rng.randint(1, 2)
         transforms.append(step)
+    return transforms
+
+
+def make_recipe(seed, max_regs=9, min_regs=4, fault_probability=0.45,
+                datapath_probability=0.2):
+    """A random recipe, deterministic in ``seed``.
+
+    Sizes are kept small on purpose: the battery includes the traversal
+    baseline, whose cost is exponential in the register count, and shrunk
+    corpus entries must replay in test time.  A ``datapath_probability``
+    fraction of recipes builds an arithmetic :func:`datapath_pair` instead
+    of a random motif benchmark; its inequivalent variants come from the
+    pair's own planted ``bug`` (never a stacked ``fault``, which would
+    make the label ambiguous).
+    """
+    rng = random.Random(seed)
+    if rng.random() < datapath_probability:
+        datapath = {
+            "family": rng.choice(DATAPATH_FAMILIES),
+            "width": rng.randint(2, 3),
+            "bug": rng.random() < fault_probability,
+            "seed": rng.randrange(2 ** 30),
+        }
+        return {"datapath": datapath, "transforms": _equiv_transforms(rng)}
+    n_regs = rng.randint(min_regs, max_regs)
+    base = {
+        "name": "fz{}".format(seed),
+        "n_regs": n_regs,
+        "n_inputs": rng.randint(2, 4),
+        "n_outputs": rng.randint(1, 2),
+        "seed": rng.randrange(2 ** 30),
+        "deep_counter_bits": rng.choice((0, 0, 0, n_regs)),
+        "mixer_width": 0,
+    }
+    transforms = _equiv_transforms(rng)
     if rng.random() < fault_probability:
         transforms.append({"kind": "fault", "seed": rng.randrange(2 ** 30)})
     return {"base": base, "transforms": transforms}
@@ -179,8 +247,10 @@ __all__ = [
     "FuzzCase",
     "apply_transform",
     "build_base",
+    "build_datapath",
     "build_pair",
     "expected_label",
     "make_case",
     "make_recipe",
+    "recipe_source_format",
 ]

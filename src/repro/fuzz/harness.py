@@ -34,6 +34,8 @@ from ..service.events import (
     EventBus,
     FUZZ_CASE_FINISHED,
     FUZZ_CORPUS_SAVED,
+    FUZZ_CROSS_CHECK,
+    FUZZ_CROSS_CHECK_SKIPPED,
     FUZZ_DISAGREEMENT,
     FUZZ_FINISHED,
     FUZZ_SHRUNK,
@@ -80,6 +82,9 @@ FALSE_PROOF = "false_proof"
 FALSE_REFUTATION = "false_refutation"
 INVALID_CEX = "invalid_cex"
 CROSS_ENGINE = "cross_engine"
+# An installed external tool (ABC/yosys) conclusively decided the opposite
+# of our battery's verdict — demoted to a finding, not trusted blindly.
+EXTERNAL_DISAGREEMENT = "external_disagreement"
 
 
 class FuzzFinding:
@@ -188,7 +193,9 @@ class DifferentialFuzzer:
                  bus=None, cache=None, job_time_limit=None, retries=1,
                  shrink_evaluations=48, result_hook=None,
                  min_regs=4, max_regs=9, fault_probability=0.45,
-                 scheduler=None):
+                 datapath_probability=0.2,
+                 scheduler=None, cross_check=False, cross_check_tools=None,
+                 cross_check_timeout=None, oracle=None):
         self.seed = seed
         self.engines = _normalize_engines(engines)
         self.workers = workers
@@ -202,6 +209,7 @@ class DifferentialFuzzer:
         self.min_regs = min_regs
         self.max_regs = max_regs
         self.fault_probability = fault_probability
+        self.datapath_probability = datapath_probability
         # ``scheduler`` overrides the battery's executor with anything
         # exposing BatchScheduler's ``run(jobs)`` — e.g. a
         # :class:`repro.client.RemoteScheduler` targeting a daemon
@@ -215,6 +223,15 @@ class DifferentialFuzzer:
         self._inline_scheduler = BatchScheduler(
             workers=0, cache=cache, bus=EventBus(), retries=0,
             job_time_limit=job_time_limit)
+        # Opt-in external cross-check (ABC/yosys).  ``oracle`` is the test
+        # seam: inject anything exposing ExternalOracle's interface.
+        self.cross_check = bool(cross_check) or oracle is not None
+        self._oracle = oracle
+        if self.cross_check and self._oracle is None:
+            from ..interop.oracle import DEFAULT_TIMEOUT, ExternalOracle
+            self._oracle = ExternalOracle(
+                tools=cross_check_tools,
+                timeout=cross_check_timeout or DEFAULT_TIMEOUT)
 
     # -- public API ---------------------------------------------------------
 
@@ -225,7 +242,14 @@ class DifferentialFuzzer:
         report = FuzzReport()
         self.bus.emit(FUZZ_STARTED, seed=self.seed, iterations=iterations,
                       engines=[label for label, _, _ in self.engines],
-                      workers=self.workers, time_budget=time_budget)
+                      workers=self.workers, time_budget=time_budget,
+                      cross_check=self.cross_check)
+        if self.cross_check:
+            reason = self._oracle.skip_reason()
+            if reason:
+                # Graceful skip, never a failure: the run proceeds with the
+                # internal oracles only, and the log says why.
+                self.bus.emit(FUZZ_CROSS_CHECK_SKIPPED, reason=reason)
         for iteration in range(iterations):
             if deadline is not None and time.monotonic() > deadline:
                 report.stopped = "time_budget"
@@ -235,7 +259,8 @@ class DifferentialFuzzer:
                 "fz-{:08d}".format(case_seed),
                 make_recipe(case_seed, min_regs=self.min_regs,
                             max_regs=self.max_regs,
-                            fault_probability=self.fault_probability))
+                            fault_probability=self.fault_probability,
+                            datapath_probability=self.datapath_probability))
             self._fuzz_one(case, iteration, report)
         report.seconds = time.monotonic() - start
         self.bus.emit(FUZZ_FINISHED, cases=report.cases_run,
@@ -246,11 +271,14 @@ class DifferentialFuzzer:
         return report
 
     def check_recipe(self, recipe, case_id="check", scheduler=None,
-                     report=None):
+                     report=None, cross_check=False):
         """Run the battery on one recipe; returns the findings list.
 
         Used by the main loop, by the shrinker's predicate, and by
-        :func:`repro.fuzz.corpus.verify_entry`.  Raises
+        :func:`repro.fuzz.corpus.verify_entry`.  ``cross_check=True``
+        additionally consults the external oracle (when one is configured
+        and available), so the shrinker can reproduce
+        ``external_disagreement`` findings.  Raises
         :class:`~repro.errors.TransformError` when the recipe's pair
         cannot be built (e.g. a fault step with no distinguishable
         mutation on a shrunk base).
@@ -259,7 +287,11 @@ class DifferentialFuzzer:
         spec, impl = case.pair()
         results = self._run_engines(case, spec, impl,
                                     scheduler or self._inline_scheduler)
-        return self._analyze(case, spec, impl, results, report)
+        findings = self._analyze(case, spec, impl, results, report)
+        if cross_check and self._can_cross_check():
+            findings.extend(
+                self._cross_check_case(case, spec, impl, results, emit=False))
+        return findings
 
     # -- one iteration ------------------------------------------------------
 
@@ -274,6 +306,8 @@ class DifferentialFuzzer:
             return
         results = self._run_engines(case, spec, impl, self._scheduler)
         findings = self._analyze(case, spec, impl, results, report)
+        if self._can_cross_check():
+            findings.extend(self._cross_check_case(case, spec, impl, results))
         report.cases_run += 1
         for method, result in results.items():
             report.record_verdict(method, result.equivalent)
@@ -346,15 +380,59 @@ class DifferentialFuzzer:
                  "expected": case.expected}))
         return findings
 
+    # -- external oracle ----------------------------------------------------
+
+    def _can_cross_check(self):
+        return (self.cross_check and self._oracle is not None
+                and not self._oracle.skip_reason())
+
+    def _cross_check_case(self, case, spec, impl, results, emit=True):
+        """Run ABC/yosys on the pair and demote disagreements to findings.
+
+        "Our" verdict is the battery's conclusive consensus when one
+        exists, else the construction-known label; an external tool only
+        *disagrees* when it conclusively decides the opposite —
+        inconclusive answers (timeouts, induction giving up) are logged
+        but are not findings.
+        """
+        conclusive = {
+            label: result.equivalent for label, result in results.items()
+            if result is not None and result.equivalent is not None
+        }
+        verdict_set = set(conclusive.values())
+        if len(verdict_set) == 1:
+            ours = verdict_set.pop()
+        else:
+            ours = case.expected_equivalent
+        oracle_verdicts = self._oracle.check(spec, impl)
+        if emit:
+            self.bus.emit(
+                FUZZ_CROSS_CHECK, job=case.case_id, ours=ours,
+                expected=case.expected,
+                verdicts=[v.to_dict() for v in oracle_verdicts])
+        disagreeing = [v for v in oracle_verdicts
+                       if v.agrees_with(ours) is False]
+        if not disagreeing:
+            return []
+        return [FuzzFinding(
+            EXTERNAL_DISAGREEMENT, case.case_id,
+            [v.tool for v in disagreeing],
+            {"ours": ours, "expected": case.expected,
+             "external": [v.to_dict() for v in disagreeing]})]
+
     # -- shrinking & persistence --------------------------------------------
 
     def _shrink_and_persist(self, case, findings, iteration, report):
         kinds = {finding.kind for finding in findings}
+        # External findings must be reproduced by the shrink predicate too,
+        # or delta debugging would "shrink" them to nothing.
+        recheck_external = EXTERNAL_DISAGREEMENT in kinds
 
         def still_fails(candidate):
             try:
                 candidate_findings = self.check_recipe(
-                    candidate, case_id=case.case_id + ":shrink")
+                    candidate, case_id=case.case_id + ":shrink",
+                    cross_check=recheck_external)
             except Exception:
                 return False
             return any(f.kind in kinds for f in candidate_findings)

@@ -24,7 +24,6 @@ _MIN_REGS = 3
 
 def _candidates(recipe):
     """Yield progressively simpler variants of ``recipe``, boldest first."""
-    base = recipe["base"]
     transforms = recipe.get("transforms", [])
     # 1. Drop each transform step (rear first: the fault/most-derived step
     #    is the most suspicious, but dropping early steps shrinks more).
@@ -32,6 +31,16 @@ def _candidates(recipe):
         variant = copy.deepcopy(recipe)
         del variant["transforms"][idx]
         yield variant
+    if "base" not in recipe:
+        # Datapath recipes: the pair construction itself has one knob.
+        datapath = recipe.get("datapath", {})
+        if datapath.get("width", 0) > 2:
+            variant = copy.deepcopy(recipe)
+            variant["datapath"]["width"] = datapath["width"] - 1
+            yield variant
+        yield from _weaken_steps(recipe, transforms)
+        return
+    base = recipe["base"]
     # 2. Shrink the base circuit: halving drops whole motifs.
     n_regs = base.get("n_regs", 0)
     for smaller in (n_regs // 2, n_regs - 1):
@@ -54,6 +63,10 @@ def _candidates(recipe):
         variant = copy.deepcopy(recipe)
         variant["base"]["n_inputs"] = base["n_inputs"] - 1
         yield variant
+    yield from _weaken_steps(recipe, transforms)
+
+
+def _weaken_steps(recipe, transforms):
     # 3. Weaken individual steps.
     for idx, step in enumerate(transforms):
         kind = step.get("kind")
@@ -73,6 +86,10 @@ def _candidates(recipe):
 
 def recipe_size(recipe):
     """Rough complexity measure used to report shrink progress."""
+    if "base" not in recipe:
+        datapath = recipe.get("datapath", {})
+        return (datapath.get("width", 2)
+                + sum(2 for _ in recipe.get("transforms", ())))
     base = recipe["base"]
     return (base.get("n_regs", 0) + base.get("n_inputs", 0)
             + base.get("n_outputs", 0) + base.get("mixer_width", 0)

@@ -1,0 +1,65 @@
+"""Interop subsystem: industry formats and external oracles.
+
+Everything that lets the reproduction talk to the world outside its own
+code:
+
+* :mod:`repro.interop.aiger` — a full AIGER reader/writer (ascii ``.aag``
+  and binary ``.aig``, latches with reset values, symbol tables, comments)
+  over the existing :class:`repro.netlist.aig.Aig` substrate, with lossless
+  conversion to and from :class:`repro.netlist.Circuit` — so HWMCC-scale
+  benchmarks and anything ABC/yosys emit can feed every engine directly;
+* :mod:`repro.interop.formats` — one extension-dispatched
+  :func:`load_circuit`/:func:`save_circuit` entry point shared by the CLI,
+  the remote client and the tests, with a clear error naming the supported
+  extensions;
+* :mod:`repro.interop.fingerprint` — the *format-independent* structural
+  fingerprint (a canonical binary-AIGER digest) the result cache keys on:
+  the ``.bench``, BLIF, ``.aag`` and ``.aig`` encodings of one circuit all
+  hash to the same problem;
+* :mod:`repro.interop.oracle` — the opt-in external cross-check: shell out
+  to ABC (``cec``/``dsec``) and/or yosys (``equiv_make`` +
+  ``equiv_induct``) when the binaries exist, compare their verdicts with
+  ours, and *skip with a logged reason* — never fail — when they do not.
+"""
+
+from .aiger import (
+    aiger_header_stats,
+    dump_aiger,
+    dumps_aiger_ascii,
+    dumps_aiger_binary,
+    load_aiger,
+    loads_aiger,
+    read_aiger_circuit,
+    reencode,
+    write_aiger_circuit,
+)
+from .fingerprint import aig_fingerprint
+from .formats import (
+    SUPPORTED_EXTENSIONS,
+    detect_format,
+    format_info,
+    load_circuit,
+    save_circuit,
+)
+from .oracle import ExternalOracle, OracleVerdict, cross_check
+
+__all__ = [
+    "ExternalOracle",
+    "OracleVerdict",
+    "SUPPORTED_EXTENSIONS",
+    "aig_fingerprint",
+    "aiger_header_stats",
+    "cross_check",
+    "detect_format",
+    "dump_aiger",
+    "dumps_aiger_ascii",
+    "dumps_aiger_binary",
+    "format_info",
+    "load_aiger",
+    "load_circuit",
+    "loads_aiger",
+    "read_aiger_circuit",
+    "reencode",
+    "save_circuit",
+    "write_aiger_circuit",
+]

@@ -1,0 +1,82 @@
+"""Extension-dispatched circuit loading and saving.
+
+One entry point shared by the CLI, the remote client and the tests:
+:func:`load_circuit` maps a path's extension to the right parser
+(``.bench``, ``.blif``, ``.aag``, ``.aig``) and raises a
+:class:`~repro.errors.ParseError` naming the supported extensions for
+anything else.  :func:`format_info` additionally reports what ``repro-sec
+info`` prints: the detected format plus, for AIGER-representable inputs,
+the canonical ``M I L O A`` header counts.
+"""
+
+import os
+
+from ..errors import ParseError
+from ..netlist import bench, blif
+from ..netlist.aig import from_circuit
+from .aiger import (
+    aiger_header_stats,
+    read_aiger_circuit,
+    write_aiger_circuit,
+)
+
+#: extension -> canonical format name
+SUPPORTED_EXTENSIONS = {
+    ".bench": "bench",
+    ".blif": "blif",
+    ".aag": "aiger-ascii",
+    ".aig": "aiger-binary",
+}
+
+
+def detect_format(path):
+    """Canonical format name for ``path``; raises ParseError if unknown."""
+    ext = os.path.splitext(str(path))[1].lower()
+    try:
+        return SUPPORTED_EXTENSIONS[ext]
+    except KeyError:
+        raise ParseError(
+            "unsupported circuit file extension {!r} for {!r}; supported: "
+            "{}".format(ext, str(path),
+                        ", ".join(sorted(SUPPORTED_EXTENSIONS))))
+
+
+def load_circuit(path, name=None):
+    """Load a circuit from any supported format, dispatched by extension."""
+    fmt = detect_format(path)
+    path = str(path)
+    if fmt == "bench":
+        return bench.load(path, name=name)
+    if fmt == "blif":
+        return blif.load(path, name=name)
+    return read_aiger_circuit(path, name=name)
+
+
+def save_circuit(circuit, path):
+    """Write a circuit in the format implied by ``path``'s extension."""
+    fmt = detect_format(path)
+    path = str(path)
+    if fmt == "bench":
+        bench.dump(circuit, path)
+    elif fmt == "blif":
+        blif.dump(circuit, path)
+    else:
+        write_aiger_circuit(circuit, path, binary=(fmt == "aiger-binary"))
+    return fmt
+
+
+def format_info(path):
+    """Detected format plus AIGER header stats for ``repro-sec info``.
+
+    Returns ``{"format": ..., "aiger": {"M":..,"I":..,"L":..,"O":..,"A":..}}``
+    where the ``aiger`` entry describes the circuit's canonical AIG
+    encoding regardless of the format it arrived in.
+    """
+    fmt = detect_format(path)
+    circuit = load_circuit(path)
+    aig, _ = from_circuit(circuit)
+    return {
+        "format": fmt,
+        "aiger": aiger_header_stats(aig),
+        "circuit": circuit,
+    }

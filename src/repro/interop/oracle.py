@@ -1,0 +1,263 @@
+"""Opt-in external equivalence oracles: ABC and yosys.
+
+The differential fuzzer's oracles so far are all our own code (the engine
+battery cross-checked against construction-known labels).  This module adds
+the first independent one: when the ``abc`` and/or ``yosys`` binaries are
+on ``PATH`` (or pointed at by the ``REPRO_SEC_ABC`` / ``REPRO_SEC_YOSYS``
+environment variables), shell out to them with the same circuit pair and
+compare verdicts.
+
+Design rules, in decreasing order of importance:
+
+* **Never fail when a tool is absent or misbehaves.**  A missing binary, a
+  timeout, a crash, or unparseable output all produce an *inconclusive*
+  :class:`OracleVerdict` (``verdict is None``) with a human-readable
+  ``reason`` — callers log and move on.
+* **Inconclusive is not a disagreement.**  yosys' ``equiv_induct`` failing
+  to prove equivalence does not mean the pair is inequivalent; only a tool
+  that affirmatively decides the problem can disagree with us.
+* Negative phrases are matched before positive ones ("NOT equivalent"
+  contains "equivalent").
+
+ABC runs ``dsec`` (sequential) or ``cec`` (combinational) on two binary
+AIGER files.  yosys runs ``equiv_make`` + ``equiv_simple`` +
+``equiv_induct`` + ``equiv_status`` on two BLIF models.
+"""
+
+import os
+import shutil
+import subprocess
+import tempfile
+import time
+
+from ..netlist import blif
+from .aiger import write_aiger_circuit
+
+DEFAULT_TIMEOUT = 60.0
+
+#: tool name -> environment variable overriding the binary path
+TOOL_ENV = {
+    "abc": "REPRO_SEC_ABC",
+    "yosys": "REPRO_SEC_YOSYS",
+}
+
+
+class OracleVerdict:
+    """One external tool's answer on one circuit pair.
+
+    ``verdict`` is ``True`` (proved equivalent), ``False`` (proved
+    inequivalent) or ``None`` (inconclusive: tool missing, timed out,
+    crashed, or could not decide).  ``reason`` always explains why.
+    """
+
+    def __init__(self, tool, verdict, reason, elapsed=0.0, output=""):
+        self.tool = tool
+        self.verdict = verdict
+        self.reason = reason
+        self.elapsed = elapsed
+        self.output = output
+
+    @property
+    def conclusive(self):
+        return self.verdict is not None
+
+    def agrees_with(self, equivalent):
+        """None if inconclusive, else whether we match ``equivalent``."""
+        if self.verdict is None:
+            return None
+        return self.verdict == bool(equivalent)
+
+    def to_dict(self):
+        return {
+            "tool": self.tool,
+            "verdict": self.verdict,
+            "reason": self.reason,
+            "elapsed": round(self.elapsed, 6),
+        }
+
+    def __repr__(self):
+        return "OracleVerdict({}, {}, {!r})".format(
+            self.tool, self.verdict, self.reason)
+
+
+def find_tool(tool):
+    """Resolve a tool binary: env override first, then PATH. None if absent."""
+    override = os.environ.get(TOOL_ENV.get(tool, ""), "")
+    if override:
+        return override if os.path.exists(override) else None
+    return shutil.which(tool)
+
+
+class ExternalOracle:
+    """Cross-check a circuit pair against whichever tools are installed."""
+
+    def __init__(self, tools=None, timeout=DEFAULT_TIMEOUT):
+        self.timeout = timeout
+        requested = list(tools) if tools else list(TOOL_ENV)
+        self.binaries = {}
+        self.missing = {}
+        for tool in requested:
+            if tool not in TOOL_ENV:
+                raise ValueError("unknown oracle tool {!r}; known: {}".format(
+                    tool, ", ".join(sorted(TOOL_ENV))))
+            path = find_tool(tool)
+            if path:
+                self.binaries[tool] = path
+            else:
+                self.missing[tool] = (
+                    "{} not found on PATH (set ${} to override)".format(
+                        tool, TOOL_ENV[tool]))
+
+    @property
+    def available(self):
+        return sorted(self.binaries)
+
+    def skip_reason(self):
+        """Why no cross-check can run, or None if at least one tool can."""
+        if self.binaries:
+            return None
+        return "; ".join(self.missing[t] for t in sorted(self.missing))
+
+    # -- per-tool runners --------------------------------------------------
+
+    def _run(self, argv, tool):
+        start = time.monotonic()
+        try:
+            proc = subprocess.run(
+                argv, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                timeout=self.timeout)
+        except subprocess.TimeoutExpired:
+            return None, time.monotonic() - start, "timeout after {:.0f}s".format(
+                self.timeout), ""
+        except OSError as exc:
+            return None, time.monotonic() - start, "failed to launch {}: {}".format(
+                tool, exc), ""
+        elapsed = time.monotonic() - start
+        output = proc.stdout.decode("utf-8", "replace")
+        if proc.returncode != 0:
+            return None, elapsed, "{} exited with status {}".format(
+                tool, proc.returncode), output
+        return proc, elapsed, None, output
+
+    def check_abc(self, spec, impl, workdir):
+        spec_path = os.path.join(workdir, "spec.aig")
+        impl_path = os.path.join(workdir, "impl.aig")
+        write_aiger_circuit(spec, spec_path, binary=True)
+        write_aiger_circuit(impl, impl_path, binary=True)
+        sequential = bool(spec.registers) or bool(impl.registers)
+        command = "dsec" if sequential else "cec"
+        argv = [self.binaries["abc"], "-c",
+                "{} {} {}".format(command, spec_path, impl_path)]
+        proc, elapsed, failure, output = self._run(argv, "abc")
+        if failure:
+            return OracleVerdict("abc", None, failure, elapsed, output)
+        lowered = output.lower()
+        if "not equivalent" in lowered or "differ" in lowered:
+            return OracleVerdict("abc", False,
+                                 "abc {} refuted equivalence".format(command),
+                                 elapsed, output)
+        if "are equivalent" in lowered or "networks are equivalent" in lowered:
+            return OracleVerdict("abc", True,
+                                 "abc {} proved equivalence".format(command),
+                                 elapsed, output)
+        return OracleVerdict("abc", None,
+                             "abc {} output not understood".format(command),
+                             elapsed, output)
+
+    def check_yosys(self, spec, impl, workdir, seq_depth=5):
+        spec_path = os.path.join(workdir, "spec.blif")
+        impl_path = os.path.join(workdir, "impl.blif")
+        _write_blif_as(spec, "gold", spec_path)
+        _write_blif_as(impl, "gate", impl_path)
+        script = "; ".join([
+            "read_blif {}".format(spec_path),
+            "read_blif {}".format(impl_path),
+            "equiv_make gold gate merged",
+            "prep -top merged",
+            "equiv_simple -seq {}".format(seq_depth),
+            "equiv_induct -seq {}".format(seq_depth),
+            "equiv_status",
+        ])
+        argv = [self.binaries["yosys"], "-q", "-p", script]
+        proc, elapsed, failure, output = self._run(argv, "yosys")
+        if failure:
+            return OracleVerdict("yosys", None, failure, elapsed, output)
+        lowered = output.lower()
+        if "equivalence successfully proven" in lowered:
+            return OracleVerdict(
+                "yosys", True,
+                "yosys equiv_induct proved equivalence (seq {})".format(
+                    seq_depth), elapsed, output)
+        # Induction failing to prove is inconclusive, never a refutation.
+        return OracleVerdict(
+            "yosys", None,
+            "yosys left unproven $equiv cells (induction depth {})".format(
+                seq_depth), elapsed, output)
+
+    # -- entry point -------------------------------------------------------
+
+    def check(self, spec, impl):
+        """Run every available tool; returns a list of OracleVerdicts.
+
+        Tools that are missing contribute an inconclusive verdict with the
+        missing-binary reason, so the report always covers every requested
+        tool.
+        """
+        verdicts = [
+            OracleVerdict(tool, None, reason)
+            for tool, reason in sorted(self.missing.items())
+        ]
+        if not self.binaries:
+            return verdicts
+        with tempfile.TemporaryDirectory(prefix="repro-oracle-") as workdir:
+            if "abc" in self.binaries:
+                verdicts.append(self.check_abc(spec, impl, workdir))
+            if "yosys" in self.binaries:
+                verdicts.append(self.check_yosys(spec, impl, workdir))
+        return verdicts
+
+
+def _write_blif_as(circuit, model_name, path):
+    """Write a circuit as BLIF under a forced model name (yosys needs
+    distinct names for ``equiv_make gold gate``)."""
+    text = blif.dumps(circuit)
+    lines = text.splitlines()
+    for idx, line in enumerate(lines):
+        if line.startswith(".model"):
+            lines[idx] = ".model {}".format(model_name)
+            break
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+def cross_check(spec, impl, equivalent, tools=None, timeout=DEFAULT_TIMEOUT):
+    """Compare our verdict with every available external tool.
+
+    Returns a dict::
+
+        {"ran": bool,             # at least one tool executed
+         "skipped_reason": str|None,
+         "verdicts": [OracleVerdict...],
+         "agreements": [tool...], # conclusive and matching ours
+         "disagreements": [tool...]}
+
+    A disagreement means an external tool *conclusively* decided the
+    opposite of our ``equivalent`` verdict — the caller demotes that to a
+    fuzzer finding rather than trusting either side blindly.
+    """
+    oracle = ExternalOracle(tools=tools, timeout=timeout)
+    verdicts = oracle.check(spec, impl)
+    agreements, disagreements = [], []
+    for verdict in verdicts:
+        agreed = verdict.agrees_with(equivalent)
+        if agreed is True:
+            agreements.append(verdict.tool)
+        elif agreed is False:
+            disagreements.append(verdict.tool)
+    return {
+        "ran": bool(oracle.binaries),
+        "skipped_reason": oracle.skip_reason(),
+        "verdicts": verdicts,
+        "agreements": agreements,
+        "disagreements": disagreements,
+    }

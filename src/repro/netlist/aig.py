@@ -42,6 +42,8 @@ class Aig:
         self.ands = {}              # var -> (rhs0, rhs1), rhs0 >= rhs1
         self._strash = {}           # (rhs0, rhs1) -> var
         self.names = {}             # var -> name (optional)
+        self.output_names = {}      # output position -> name (optional)
+        self.comments = []          # AIGER trailing comment lines
 
     # -- construction -------------------------------------------------------
 
@@ -72,7 +74,9 @@ class Aig:
                 return
         raise NetlistError("literal {} is not a latch".format(latch_lit))
 
-    def add_output(self, lit):
+    def add_output(self, lit, name=None):
+        if name:
+            self.output_names[len(self.outputs)] = name
         self.outputs.append(lit)
         return lit
 
@@ -222,7 +226,7 @@ def from_circuit(circuit):
     for net, reg in circuit.registers.items():
         aig.set_latch_next(lit_of[net], lit_of[reg.data_in])
     for net in circuit.outputs:
-        aig.add_output(lit_of[net])
+        aig.add_output(lit_of[net], name=net)
     return aig, lit_of
 
 
@@ -342,6 +346,9 @@ def dumps_aag(aig):
     for idx, (var, _, _) in enumerate(aig.latches):
         if var in aig.names:
             lines.append("l{} {}".format(idx, aig.names[var]))
+    for idx in range(len(aig.outputs)):
+        if idx in aig.output_names:
+            lines.append("o{} {}".format(idx, aig.output_names[idx]))
     return "\n".join(lines) + "\n"
 
 
@@ -400,6 +407,8 @@ def loads_aag(text):
             aig.names[aig.inputs[int(kind[1:])]] = name
         elif kind.startswith("l"):
             aig.names[aig.latches[int(kind[1:])][0]] = name
+        elif kind.startswith("o"):
+            aig.output_names[int(kind[1:])] = name
     return aig
 
 

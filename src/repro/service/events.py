@@ -57,6 +57,11 @@ FUZZ_DISAGREEMENT = "fuzz_disagreement"
 FUZZ_SHRUNK = "fuzz_shrunk"
 FUZZ_CORPUS_SAVED = "fuzz_corpus_saved"
 FUZZ_FINISHED = "fuzz_finished"
+# External-oracle cross-checking (repro.interop.oracle): one event per case
+# carrying the ABC/yosys verdicts, and one per run when no tool is
+# installed (with the reason), so skipping is visible but never fatal.
+FUZZ_CROSS_CHECK = "fuzz_cross_check"
+FUZZ_CROSS_CHECK_SKIPPED = "fuzz_cross_check_skipped"
 # Events emitted by the network daemon (repro.server): daemon lifecycle,
 # job intake over HTTP, cancellation, queue-resume after a restart, and
 # rate-limit/backpressure rejections.

@@ -2,10 +2,12 @@
 
 A :class:`JobSpec` is the unit of work the service schedules: one
 (spec, impl) circuit pair, one engine, one option set.  Its
-:meth:`JobSpec.cache_key` is a structural hash — renaming nets or
-re-deriving an identical pair hits the same cache entry — computed from
-:func:`repro.netlist.strash.structural_fingerprint` of both circuits plus
-the canonicalized method/options tuple.
+:meth:`JobSpec.cache_key` is a structural hash — renaming nets,
+re-deriving an identical pair, or submitting the same circuit in a
+different file format (``.bench`` vs ``.aig``) all hit the same cache
+entry — computed from :func:`repro.interop.fingerprint.aig_fingerprint`
+(a canonical binary-AIGER digest) of both circuits plus the canonicalized
+method/options tuple.
 
 A :class:`JobResult` wraps the engine's :class:`~repro.reach.SecResult`
 with service-level provenance: cache hit, retry count, crash errors,
@@ -15,12 +17,14 @@ scheduler wall time.
 import hashlib
 import json
 
-from ..netlist.strash import structural_fingerprint
+from ..interop.fingerprint import aig_fingerprint
 from ..reach.result import SecResult
 
 #: Bump when the cache entry layout or engine semantics change
 #: incompatibly; old entries then miss instead of returning stale verdicts.
-CACHE_FORMAT_VERSION = 1
+#: v2: cache key switched from the gate-level structural_fingerprint to the
+#: format-independent AIG fingerprint.
+CACHE_FORMAT_VERSION = 2
 
 
 class JobSpec:
@@ -52,8 +56,8 @@ class JobSpec:
             payload = json.dumps(
                 {
                     "version": CACHE_FORMAT_VERSION,
-                    "spec": structural_fingerprint(self.spec),
-                    "impl": structural_fingerprint(self.impl),
+                    "spec": aig_fingerprint(self.spec),
+                    "impl": aig_fingerprint(self.impl),
                     "method": self.method,
                     "options": self.options,
                     "match_inputs": self.match_inputs,

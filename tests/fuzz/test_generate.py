@@ -90,4 +90,21 @@ def test_fault_probability_bounds_are_respected():
 def test_register_counts_stay_in_requested_band():
     for seed in range(20):
         recipe = make_recipe(seed, min_regs=3, max_regs=5)
+        if "datapath" in recipe:
+            # Datapath pairs size themselves from their operand width.
+            continue
         assert 3 <= recipe["base"]["n_regs"] <= 5
+
+
+def test_datapath_probability_controls_recipe_mix():
+    motif_only = [make_recipe(s, datapath_probability=0.0)
+                  for s in range(10)]
+    datapath_only = [make_recipe(s, datapath_probability=1.0)
+                     for s in range(10)]
+    assert all("base" in r and "datapath" not in r for r in motif_only)
+    assert all("datapath" in r and "base" not in r for r in datapath_only)
+    # Planted bugs follow the fault knob: the label stays derivable.
+    assert all(expected_label(r) == INEQUIVALENT
+               for r in (make_recipe(s, datapath_probability=1.0,
+                                     fault_probability=1.0)
+                         for s in range(5)))

@@ -1,0 +1,253 @@
+"""External oracle shelling: stub binaries, verdict parsing, fuzz wiring.
+
+abc/yosys are not assumed to be installed anywhere these tests run; every
+"tool" here is a generated ``#!/bin/sh`` stub pointed at via the
+``REPRO_SEC_ABC`` / ``REPRO_SEC_YOSYS`` environment overrides.
+"""
+
+import os
+import stat
+
+import pytest
+
+from repro.fuzz.harness import (
+    EXTERNAL_DISAGREEMENT,
+    DifferentialFuzzer,
+    FuzzFinding,
+)
+from repro.interop.oracle import (
+    ExternalOracle,
+    OracleVerdict,
+    cross_check,
+    find_tool,
+)
+from repro.netlist import bench
+from repro.service import EventBus
+from repro.service import events as ev
+
+BENCH_TEXT = """INPUT(a)
+OUTPUT(y)
+r = DFF(a)
+y = AND(r, a)
+"""
+
+
+def _stub(tmp_path, name, body):
+    """Write an executable shell stub and return its path.
+
+    The tests hide the host PATH from ``find_tool``, so the stub restores
+    a standard one for its own use of coreutils.
+    """
+    path = tmp_path / name
+    path.write_text("#!/bin/sh\nPATH=/usr/bin:/bin\n" + body + "\n")
+    path.chmod(path.stat().st_mode | stat.S_IXUSR)
+    return str(path)
+
+
+@pytest.fixture
+def pair():
+    return (bench.loads(BENCH_TEXT, name="spec"),
+            bench.loads(BENCH_TEXT, name="impl"))
+
+
+@pytest.fixture
+def no_real_tools(monkeypatch):
+    monkeypatch.delenv("REPRO_SEC_ABC", raising=False)
+    monkeypatch.delenv("REPRO_SEC_YOSYS", raising=False)
+    # Keep the test honest on machines that do have the tools installed.
+    monkeypatch.setenv("PATH", "/nonexistent")
+    return monkeypatch
+
+
+def test_find_tool_prefers_env_override(tmp_path, no_real_tools):
+    stub = _stub(tmp_path, "abc", "echo hi")
+    no_real_tools.setenv("REPRO_SEC_ABC", stub)
+    assert find_tool("abc") == stub
+    # A dangling override means the tool is unavailable, not an error.
+    no_real_tools.setenv("REPRO_SEC_ABC", str(tmp_path / "gone"))
+    assert find_tool("abc") is None
+
+
+def test_missing_tools_give_skip_reason_never_failure(no_real_tools, pair):
+    oracle = ExternalOracle()
+    assert oracle.available == []
+    reason = oracle.skip_reason()
+    assert "abc not found" in reason and "yosys not found" in reason
+    assert "$REPRO_SEC_ABC" in reason
+    # check() still answers, with one inconclusive verdict per tool.
+    verdicts = oracle.check(*pair)
+    assert [v.tool for v in verdicts] == ["abc", "yosys"]
+    assert all(v.verdict is None for v in verdicts)
+
+
+def test_unknown_tool_name_is_rejected():
+    with pytest.raises(ValueError, match="unknown oracle tool"):
+        ExternalOracle(tools=["espresso"])
+
+
+@pytest.mark.parametrize("body,verdict", [
+    ('echo "Networks are equivalent after 1 iterations."', True),
+    ('echo "Networks are NOT equivalent."', False),
+    ('echo "Networks differ in output 0."', False),
+    ('echo "something inscrutable"', None),
+    ('exit 3', None),
+])
+def test_abc_stub_verdict_parsing(tmp_path, no_real_tools, pair,
+                                  body, verdict):
+    no_real_tools.setenv("REPRO_SEC_ABC", _stub(tmp_path, "abc", body))
+    oracle = ExternalOracle(tools=["abc"])
+    (result,) = oracle.check(*pair)
+    assert result.tool == "abc"
+    assert result.verdict is verdict
+    assert result.reason
+    if verdict is not None:
+        # The pair has registers, so the sequential command is selected.
+        assert "dsec" in result.reason
+
+
+def test_abc_stub_sees_binary_aiger_files(tmp_path, no_real_tools, pair):
+    # abc is invoked as ``abc -c "dsec <spec> <impl>"`` — the command is one
+    # argument; the stub splits it and echoes the spec file's magic bytes
+    # back, proving the binary AIGER inputs were really written.
+    body = ('cmd="$2"; set -- $cmd; head -c 3 "$2"; echo; '
+            'echo "Networks are equivalent"')
+    no_real_tools.setenv("REPRO_SEC_ABC", _stub(tmp_path, "abc", body))
+    oracle = ExternalOracle(tools=["abc"])
+    (result,) = oracle.check(*pair)
+    assert result.verdict is True
+    assert result.output.startswith("aig")
+
+
+def test_abc_timeout_is_inconclusive(tmp_path, no_real_tools, pair):
+    no_real_tools.setenv("REPRO_SEC_ABC",
+                         _stub(tmp_path, "abc", "sleep 10"))
+    oracle = ExternalOracle(tools=["abc"], timeout=0.2)
+    (result,) = oracle.check(*pair)
+    assert result.verdict is None
+    assert "timeout" in result.reason
+
+
+def test_yosys_only_proven_counts_as_equivalent(tmp_path, no_real_tools,
+                                                pair):
+    proven = _stub(tmp_path, "yosys",
+                   'echo "Equivalence successfully proven!"')
+    unproven = _stub(tmp_path, "yosys2",
+                     'echo "Found 3 unproven $equiv cells."')
+    no_real_tools.setenv("REPRO_SEC_YOSYS", proven)
+    (result,) = ExternalOracle(tools=["yosys"]).check(*pair)
+    assert result.verdict is True
+    no_real_tools.setenv("REPRO_SEC_YOSYS", unproven)
+    (result,) = ExternalOracle(tools=["yosys"]).check(*pair)
+    # Failed induction is inconclusive — never a refutation.
+    assert result.verdict is None
+    assert "unproven" in result.reason
+
+
+def test_oracle_verdict_agreement_logic():
+    assert OracleVerdict("abc", True, "r").agrees_with(True) is True
+    assert OracleVerdict("abc", True, "r").agrees_with(False) is False
+    assert OracleVerdict("abc", None, "r").agrees_with(True) is None
+
+
+def test_cross_check_classifies_agreements_and_disagreements(
+        tmp_path, no_real_tools, pair):
+    no_real_tools.setenv(
+        "REPRO_SEC_ABC",
+        _stub(tmp_path, "abc", 'echo "Networks are equivalent"'))
+    no_real_tools.setenv(
+        "REPRO_SEC_YOSYS",
+        _stub(tmp_path, "yosys", 'echo "Equivalence successfully proven!"'))
+    agree = cross_check(pair[0], pair[1], equivalent=True)
+    assert agree["ran"] and agree["skipped_reason"] is None
+    assert agree["agreements"] == ["abc", "yosys"]
+    assert agree["disagreements"] == []
+    disagree = cross_check(pair[0], pair[1], equivalent=False)
+    assert disagree["disagreements"] == ["abc", "yosys"]
+
+
+def test_cross_check_skips_cleanly_without_tools(no_real_tools, pair):
+    result = cross_check(pair[0], pair[1], equivalent=True)
+    assert result["ran"] is False
+    assert "not found" in result["skipped_reason"]
+    assert result["agreements"] == [] and result["disagreements"] == []
+
+
+class FakeOracle:
+    """ExternalOracle stand-in with a scripted verdict."""
+
+    def __init__(self, verdict):
+        self.verdict = verdict
+        self.binaries = {"abc": "/stub/abc"}
+        self.missing = {}
+        self.calls = 0
+
+    def skip_reason(self):
+        return None
+
+    def check(self, spec, impl):
+        self.calls += 1
+        return [OracleVerdict("abc", self.verdict, "scripted")]
+
+
+FAST_ENGINES = (("bmc", {"max_depth": 6}),)
+
+
+def test_fuzzer_demotes_external_disagreement_to_finding(tmp_path):
+    oracle = FakeOracle(verdict=False)  # tool insists "inequivalent"
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append)
+    fuzzer = DifferentialFuzzer(
+        seed=5, engines=FAST_ENGINES, workers=0,
+        corpus_dir=str(tmp_path), bus=bus,
+        fault_probability=0.0,  # every pair is equivalent by construction
+        oracle=oracle)
+    report = fuzzer.run(iterations=1)
+    assert oracle.calls >= 1
+    kinds = {finding.kind for finding in report.findings}
+    assert kinds == {EXTERNAL_DISAGREEMENT}
+    finding = report.findings[0]
+    assert finding.methods == ["abc"]
+    assert finding.detail["ours"] is True
+    # The disagreement survived shrinking and reached the corpus.
+    assert report.corpus_paths
+    types = [event.type for event in seen]
+    assert ev.FUZZ_CROSS_CHECK in types
+    assert ev.FUZZ_CROSS_CHECK_SKIPPED not in types
+
+
+def test_fuzzer_agreeing_oracle_stays_clean(tmp_path):
+    oracle = FakeOracle(verdict=True)
+    fuzzer = DifferentialFuzzer(
+        seed=5, engines=FAST_ENGINES, workers=0, corpus_dir=str(tmp_path),
+        fault_probability=0.0, oracle=oracle)
+    report = fuzzer.run(iterations=1)
+    assert oracle.calls >= 1
+    assert report.clean
+
+
+def test_check_recipe_reproduces_external_findings():
+    oracle = FakeOracle(verdict=False)
+    fuzzer = DifferentialFuzzer(engines=FAST_ENGINES, workers=0,
+                                fault_probability=0.0, oracle=oracle)
+    recipe = {"base": {"name": "xc", "n_regs": 4, "seed": 9},
+              "transforms": []}
+    with_oracle = fuzzer.check_recipe(recipe, cross_check=True)
+    assert [f.kind for f in with_oracle] == [EXTERNAL_DISAGREEMENT]
+    # Without the flag the same recipe is clean: the shrinker only pays
+    # for external re-checks when the original finding was external.
+    assert fuzzer.check_recipe(recipe, cross_check=False) == []
+
+
+def test_fuzz_run_without_tools_logs_skip(tmp_path, no_real_tools):
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append)
+    fuzzer = DifferentialFuzzer(
+        seed=3, engines=FAST_ENGINES, workers=0, corpus_dir=str(tmp_path),
+        fault_probability=0.0, cross_check=True, bus=bus)
+    report = fuzzer.run(iterations=1)
+    assert report.clean
+    skipped = [e for e in seen if e.type == ev.FUZZ_CROSS_CHECK_SKIPPED]
+    assert len(skipped) == 1
+    assert "not found" in skipped[0].data["reason"]

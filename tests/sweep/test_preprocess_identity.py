@@ -86,8 +86,14 @@ def inequivalent_recipes(count=3):
     return found
 
 
+def _recipe_id(recipe):
+    if "base" in recipe:
+        return recipe["base"]["name"]
+    return "dp_{}".format(recipe["datapath"]["family"])
+
+
 @pytest.mark.parametrize("recipe", inequivalent_recipes(),
-                         ids=lambda r: r["base"]["name"])
+                         ids=_recipe_id)
 def test_refutations_replay_on_original_circuits(recipe):
     spec, impl = build_pair(recipe)
     direct, pre = both_verdicts(spec, impl, "bmc", {"max_depth": 16})
