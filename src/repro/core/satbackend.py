@@ -49,7 +49,7 @@ solver's conflict/propagation counters.  Both are threaded through the
 import time
 
 from ..errors import ResourceBudgetExceeded
-from ..netlist.simulate import CompiledSim, SequentialSimulator
+from ..netlist.simulate import SequentialSimulator, make_sim
 from ..reach.result import SecResult
 from ..sat.solver import Solver
 from ..sat.tseitin import TseitinEncoder
@@ -90,8 +90,8 @@ class SatCorrespondence:
     """
 
     def __init__(self, product, seed=2024, sim_frames=24, sim_width=32,
-                 time_limit=None, k=1, incremental=True, progress=None,
-                 cancel_check=None):
+                 time_limit=None, k=1, incremental=True, sim_backend="auto",
+                 progress=None, cancel_check=None):
         if k < 1:
             raise ValueError("induction depth k must be >= 1")
         self.product = product
@@ -103,6 +103,7 @@ class SatCorrespondence:
         self.time_limit = time_limit
         self.k = k
         self.incremental = incremental
+        self.sim_backend = sim_backend
         self.progress = progress
         self.cancel_check = cancel_check
         self.stats = {
@@ -119,9 +120,10 @@ class SatCorrespondence:
         self._frames = None
         self._true_var = None
         self._init_act = None
-        # One compiled kernel per compute(): partition seeding and every
+        # One sim kernel per compute(): partition seeding and every
         # counterexample replay share it (and its single topo sort).
-        self._csim = CompiledSim(self.circuit)
+        # ``sim_backend`` selects it (auto = matrix when numpy imports).
+        self._csim = make_sim(self.circuit, sim_backend)
         self._simulate()
         self._signals = self._build_signals()
 
@@ -531,6 +533,7 @@ def check_equivalence_sat_sweep(spec, impl, match_inputs="name",
                                 time_limit=None, max_iterations=None, k=1,
                                 use_retiming=False, max_retiming_rounds=3,
                                 incremental=True, refine_workers=0,
+                                refine_batch=0, sim_backend="auto",
                                 progress=None, cancel_check=None):
     """SEC by SAT-based signal correspondence; returns a :class:`SecResult`.
 
@@ -539,9 +542,12 @@ def check_equivalence_sat_sweep(spec, impl, match_inputs="name",
     augmentation between fixed points), both strictly increasing proving
     power.  ``incremental=False`` falls back to the solver-per-round
     baseline engine (identical verdicts, kept for differential testing and
-    benchmarking).  ``refine_workers=N`` (N >= 1) fans each refinement
-    round's per-class checks out over N persistent worker processes
-    (:mod:`repro.core.parallel`) — same fixed point, shared wall clock.
+    benchmarking).  ``refine_workers=N`` (N >= 1) runs each refinement
+    round's per-class checks through a work-stealing pool of N persistent
+    worker processes (:mod:`repro.core.parallel`) — same fixed point,
+    shared wall clock; ``refine_batch`` caps the pair-check load per
+    stolen batch (0 = auto).  ``sim_backend`` selects the simulation
+    kernel (:data:`~repro.netlist.simulate.SIM_BACKENDS`).
     ``progress``/``cancel_check`` are the service-layer hooks shared with
     the BDD engine.
     """
@@ -549,8 +555,11 @@ def check_equivalence_sat_sweep(spec, impl, match_inputs="name",
     from .retiming_aug import CircuitAugmenter
 
     refine_workers = int(refine_workers or 0)
+    refine_batch = int(refine_batch or 0)
     if refine_workers < 0:
         raise ValueError("refine_workers must be >= 0")
+    if refine_batch < 0:
+        raise ValueError("refine_batch must be >= 0")
     if refine_workers and not incremental:
         raise ValueError(
             "refine_workers requires the incremental engine "
@@ -572,11 +581,15 @@ def check_equivalence_sat_sweep(spec, impl, match_inputs="name",
     totals = None
     while True:
         remaining = None if deadline is None else deadline - time.monotonic()
-        extra = {"refine_workers": refine_workers} if refine_workers else {}
+        extra = {}
+        if refine_workers:
+            extra["refine_workers"] = refine_workers
+            extra["refine_batch"] = refine_batch
         engine = engine_cls(
             _AugmentedProduct(product, working), seed=seed,
             sim_frames=sim_frames, sim_width=sim_width,
             time_limit=remaining, k=k, incremental=incremental,
+            sim_backend=sim_backend,
             progress=progress, cancel_check=cancel_check, **extra,
         )
         try:
@@ -599,7 +612,7 @@ def check_equivalence_sat_sweep(spec, impl, match_inputs="name",
                 iterations=total_iterations,
                 seconds=time.monotonic() - start,
                 details=_sat_details(classes, engine.k, retime_rounds,
-                                     totals, refine_workers),
+                                     totals, refine_workers, refine_batch),
             )
         if not use_retiming or retime_rounds >= max_retiming_rounds:
             break
@@ -614,7 +627,7 @@ def check_equivalence_sat_sweep(spec, impl, match_inputs="name",
         iterations=total_iterations,
         seconds=time.monotonic() - start,
         details=_sat_details(classes, k, retime_rounds, totals,
-                             refine_workers),
+                             refine_workers, refine_batch),
     )
 
 
@@ -647,7 +660,7 @@ def _outputs_proved_sat(product, classes):
 
 
 def _sat_details(classes, k, retime_rounds, solver_stats=None,
-                 refine_workers=0):
+                 refine_workers=0, refine_batch=0):
     details = {
         "classes": len(classes),
         "functions": sum(len(c) for c in classes),
@@ -656,6 +669,7 @@ def _sat_details(classes, k, retime_rounds, solver_stats=None,
     }
     if refine_workers:
         details["refine_workers"] = refine_workers
+        details["refine_batch"] = refine_batch
     if solver_stats is not None:
         details["solver_stats"] = dict(solver_stats)
     return details

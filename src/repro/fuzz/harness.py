@@ -44,6 +44,7 @@ from ..service.events import (
 from ..service.job import JobSpec
 from ..service.scheduler import BatchScheduler
 from ..errors import TransformError
+from ..netlist.simulate import _numpy
 from .corpus import CorpusEntry, save_entry
 from .generate import FuzzCase, make_recipe
 from .replay import validate_refutation
@@ -72,6 +73,17 @@ DEFAULT_FUZZ_ENGINES = (
      {"max_depth": 10, "sim_frames": 16, "sim_width": 16}),
     ("traversal", "traversal", {"max_iterations": 256}),
 )
+
+# The matrix sim backend rides the battery only where numpy imports: the
+# lane pins the numpy replay kernel and the work-stealing pool against the
+# serial/compiled lanes on every fuzz case.  Appended (not inserted) so
+# label-indexed consumers see a strict superset.
+if _numpy() is not None:
+    DEFAULT_FUZZ_ENGINES = DEFAULT_FUZZ_ENGINES + (
+        ("sat_sweep_matrix", "sat_sweep",
+         {"sim_frames": 16, "sim_width": 16, "refine_workers": 2,
+          "sim_backend": "matrix"}),
+    )
 
 #: Multiplier decorrelating fuzzer seeds: run seed k, iteration i fuzzes
 #: case seed k * _SEED_STRIDE + i, so different --seed runs explore

@@ -19,7 +19,7 @@ a SAT counterexample).
 * by engine tests, as a reusable assertion that a trace is real.
 """
 
-from ..netlist.simulate import CompiledSim
+from ..netlist.simulate import make_sim
 
 
 class ReplayReport:
@@ -63,7 +63,8 @@ class ReplayReport:
         return "ReplayReport(INVALID: {})".format(self.reason)
 
 
-def replay_trace(circuit, frames, input_map=None, sim=None):
+def replay_trace(circuit, frames, input_map=None, sim=None,
+                 sim_backend="auto"):
     """Drive ``circuit`` from its initial state with explicit input vectors.
 
     ``frames`` is a list of ``{net: bool}`` dicts keyed by the *trace's*
@@ -73,11 +74,12 @@ def replay_trace(circuit, frames, input_map=None, sim=None):
     ``per_frame_outputs[t]`` lists the circuit's output values (by output
     position) in frame ``t``.
 
-    ``sim`` lets callers reuse a :class:`CompiledSim` for ``circuit``
-    across many traces; one is built on the fly otherwise.
+    ``sim`` lets callers reuse a prebuilt kernel for ``circuit`` across
+    many traces; otherwise one is built on the fly, selected by
+    ``sim_backend`` (:data:`~repro.netlist.simulate.SIM_BACKENDS`).
     """
     if sim is None:
-        sim = CompiledSim(circuit)
+        sim = make_sim(circuit, sim_backend)
     input_frames = []
     missing = 0
     for frame in frames:

@@ -3,9 +3,12 @@
 from .circuit import Circuit, Gate, GateType, Register, eval_gate
 from .product import ProductMachine, build_product, IMPL_PREFIX, SPEC_PREFIX
 from .simulate import (
+    SIM_BACKENDS,
     CompiledSim,
+    MatrixSim,
     SequentialSimulator,
     bit_parallel_eval,
+    make_sim,
     next_state,
     single_eval,
     ternary_eval,
@@ -27,7 +30,10 @@ __all__ = [
     "build_product",
     "SPEC_PREFIX",
     "IMPL_PREFIX",
+    "SIM_BACKENDS",
     "CompiledSim",
+    "MatrixSim",
+    "make_sim",
     "SequentialSimulator",
     "bit_parallel_eval",
     "next_state",

@@ -1,0 +1,124 @@
+"""Racing FRAIG candidate-check strategies on the work-stealing pool.
+
+:func:`fraig_reduce` has knobs with no universally right setting: wide
+simulation (few rounds, many patterns) kills spurious candidates cheaply
+on shallow netlists, deep simulation (many rounds) catches
+sequentially-correlated candidates, and a conflict budget bounds SAT
+latency at the cost of missed merges.  Rather than picking one,
+:func:`race_fraig` runs a small portfolio of strategies concurrently on
+the same :class:`~repro.service.procs.StealPool` the refinement engine
+uses (one strategy per batch, raw-fork workers, framed pickles) and takes
+the **first reduction to finish** — the losers are abandoned and the pool
+torn down.
+
+Any strategy's output is sound (every merge is certified by the same
+incremental solver, see :mod:`repro.sweep.reduce`), so racing changes
+which reduced circuit downstream engines see — possibly fewer or more
+merges — but never the verdict.  That is the same contract
+``fraig_sweep`` already has across seeds and conflict budgets.  Racing is
+therefore opt-in (``--fraig-race``): the winner depends on host timing,
+which trades run-to-run reduction determinism for latency.
+"""
+
+import os
+import time
+import traceback
+
+from .reduce import fraig_reduce
+
+#: The raced configurations: (label, fraig_reduce keyword overrides).
+#: "wide" spends its simulation budget on patterns per round, "deep" on
+#: rounds (sequential correlation), "budgeted" caps per-query SAT effort
+#: so one hard candidate cannot stall the whole reduction.
+DEFAULT_RACE_STRATEGIES = (
+    ("wide", {"sim_rounds": 2, "sim_width": 128}),
+    ("deep", {"sim_rounds": 8, "sim_width": 32}),
+    ("budgeted", {"sim_rounds": 4, "sim_width": 64,
+                  "conflict_budget": 2000}),
+)
+
+
+class _RaceHandler:
+    """Child-side handler: one strategy per batch, failures returned as
+    values (a losing strategy must not poison the race)."""
+
+    def __init__(self, circuit, seed, base_options):
+        self.circuit = circuit
+        self.seed = seed
+        self.base_options = base_options
+
+    def setup(self, payload):
+        pass
+
+    def batch(self, payload):
+        label, overrides = payload
+        options = dict(self.base_options)
+        options.update(overrides)
+        started = time.monotonic()
+        try:
+            reduction = fraig_reduce(self.circuit, seed=self.seed, **options)
+        except Exception:
+            return (label, None, traceback.format_exc(),
+                    time.monotonic() - started)
+        return (label, reduction, None, time.monotonic() - started)
+
+
+def race_fraig(circuit, seed=2024, strategies=DEFAULT_RACE_STRATEGIES,
+               workers=2, **base_options):
+    """Race ``strategies`` over ``workers`` processes; first one wins.
+
+    Returns ``(reduction, info)`` where ``info`` records the winning
+    strategy label, the raced labels and the pool size (0 = the serial
+    fallback ran: no ``os.fork``, pool spawn failure, or every strategy
+    errored).  ``base_options`` are :func:`fraig_reduce` keywords every
+    strategy inherits (each strategy's own overrides win).
+    """
+    from ..service.procs import StealPool, StealPoolError
+
+    strategies = list(strategies)
+    if not strategies:
+        raise ValueError("race_fraig needs at least one strategy")
+    workers = max(1, min(int(workers), len(strategies)))
+    labels = [label for label, _ in strategies]
+    winner = {}
+
+    def first_finisher(bid, value, worker_index):
+        label, reduction, error, elapsed = value
+        if reduction is not None and "reduction" not in winner:
+            winner["reduction"] = reduction
+            winner["label"] = label
+            winner["elapsed"] = elapsed
+            return True  # stop the race; losers are abandoned
+        return False
+
+    pool = None
+    if hasattr(os, "fork"):
+        try:
+            pool = StealPool(workers, _RaceHandler,
+                             (circuit, seed, dict(base_options)))
+        except StealPoolError:
+            pool = None
+    if pool is not None:
+        try:
+            pool.run_batches(
+                [(label, dict(overrides)) for label, overrides in strategies],
+                on_result=first_finisher)
+        except StealPoolError:
+            winner.clear()
+        finally:
+            pool.close()
+    if "reduction" not in winner:
+        # Serial fallback: the first strategy, inline.  Sound either way.
+        label, overrides = strategies[0]
+        options = dict(base_options)
+        options.update(overrides)
+        started = time.monotonic()
+        reduction = fraig_reduce(circuit, seed=seed, **options)
+        return reduction, {"strategy": label, "raced": labels, "workers": 0,
+                           "seconds": round(time.monotonic() - started, 6)}
+    return winner["reduction"], {
+        "strategy": winner["label"],
+        "raced": labels,
+        "workers": workers,
+        "seconds": round(winner["elapsed"], 6),
+    }

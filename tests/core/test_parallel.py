@@ -1,12 +1,15 @@
 """Parallel refinement engine: identity with the serial fixed point.
 
 The whole value proposition of :class:`ParallelSatCorrespondence` is that
-fanning a round's class checks out over worker processes changes *nothing*
-observable but wall-clock time: same verdicts, same final partition, same
-fixed point — on random pairs, the Table-1 suite and the persisted fuzz
-corpus.  These tests also pin the resource model (1 master + N worker
-solver constructions), the per-round worker telemetry, and pool hygiene
-(no live children after ``compute()``, even on budget aborts).
+running a round's class checks through the work-stealing pool changes
+*nothing* observable but wall-clock time: same verdicts, same final
+partition, same fixed point — on random pairs, the Table-1 suite and the
+persisted fuzz corpus, at any batch size and any stealing order.  These
+tests also pin the resource model (1 master + N worker solver
+constructions, +1 per respawn), the per-round worker telemetry, crash
+degradation (re-queue the dead worker's batch, respawn, keep going), and
+pool hygiene (no live children after ``compute()``, even on budget
+aborts).
 """
 
 import os
@@ -16,7 +19,7 @@ import pytest
 
 from repro.circuits import row_by_name
 from repro.core import check_equivalence_sat_sweep
-from repro.core.parallel import ParallelSatCorrespondence, _assign_chunks
+from repro.core.parallel import ParallelSatCorrespondence, _make_batches
 from repro.core.satbackend import SatCorrespondence
 from repro.errors import ResourceBudgetExceeded
 from repro.fuzz.corpus import discover
@@ -78,14 +81,22 @@ def test_sweep_rejects_workers_on_monolithic_baseline():
                                     refine_workers=-1)
 
 
-def test_chunk_assignment_is_deterministic_and_balanced():
+def test_batch_packing_is_deterministic_and_bounded():
     classes = [["a"], ["b"] * 5, ["c"] * 3, ["d"] * 3, ["e"] * 2]
-    chunks = _assign_chunks(classes, [1, 2, 3, 4], 2)
-    assert chunks == _assign_chunks(classes, [1, 2, 3, 4], 2)
-    assert sorted(cid for chunk in chunks for cid in chunk) == [1, 2, 3, 4]
-    # LPT: the size-5 class gets a worker to itself first; the two size-3
-    # classes land on the other; the size-2 joins the lighter load.
-    assert chunks == [[1, 4], [2, 3]]
+    batches = _make_batches(classes, [1, 2, 3, 4], 2, 4)
+    assert batches == _make_batches(classes, [1, 2, 3, 4], 2, 4)
+    assert sorted(cid for batch in batches for cid in batch) == [1, 2, 3, 4]
+    # Largest-first greedy fill at cap 4: the size-5 class (load 4) fills
+    # a batch alone; each size-3 class (load 2) pairs greedily; the size-2
+    # (load 1) joins the second size-3's batch.
+    assert batches == [[1], [2, 3], [4]]
+    # A class heavier than the cap still lands (alone) in a batch.
+    assert _make_batches(classes, [1], 2, 1) == [[1]]
+    # Auto cap spreads the total load into multiple batches per worker so
+    # the pool has stealing slack.
+    auto = _make_batches(classes, [1, 2, 3, 4], 1, 0)
+    assert sorted(cid for batch in auto for cid in batch) == [1, 2, 3, 4]
+    assert len(auto) >= 3
 
 
 # ---------------------------------------------------------- identity checks
@@ -153,11 +164,12 @@ def test_refinement_rounds_carry_worker_telemetry():
     assert parallel_rounds, "no round actually fanned out"
     for data in parallel_rounds:
         assert len(data["worker_seconds"]) == 2
+        assert data["batches"] >= 1
         assert data["round_seconds"] > 0
         assert data["speedup"] > 0
         assert "sat_queries" in data and "classes" in data
     # The pool is gone and reaped once the fixed point is reached.
-    assert engine._workers == []
+    assert engine._pool is None
 
 
 def test_low_fanout_rounds_stay_serial():
@@ -196,7 +208,7 @@ def test_budget_abort_tears_the_pool_down():
                                        time_limit=0.0)
     with pytest.raises(ResourceBudgetExceeded):
         engine.compute()
-    assert engine._workers == []
+    assert engine._pool is None
 
 
 def test_close_is_idempotent():
@@ -205,4 +217,66 @@ def test_close_is_idempotent():
     engine.compute()
     engine.close()
     engine.close()
-    assert engine._workers == []
+    assert engine._pool is None
+
+
+# ------------------------------------------------- stealing order / respawn
+
+
+def test_batch_size_never_changes_the_partition():
+    """Any batch granularity — one class per batch, everything in one
+    batch, or the auto cap — steals in a different order yet lands on the
+    identical greatest fixed point."""
+    product = suite_product("s298")
+    baseline = SatCorrespondence(product, sim_frames=2, sim_width=1)
+    expected, _ = baseline.compute()
+    partitions = []
+    for refine_batch in (1, 3, 10 ** 9, 0):
+        engine = ParallelSatCorrespondence(
+            product, refine_workers=2, refine_batch=refine_batch,
+            sim_frames=2, sim_width=1)
+        classes, _ = engine.compute()
+        partitions.append(netsets(classes))
+    assert all(p == netsets(expected) for p in partitions)
+
+
+def test_repeated_runs_are_deterministic():
+    product = product_for(3)
+    runs = []
+    for _ in range(2):
+        engine = ParallelSatCorrespondence(product, refine_workers=2,
+                                           refine_batch=1,
+                                           sim_frames=2, sim_width=1)
+        classes, _ = engine.compute()
+        runs.append(netsets(classes))
+    assert runs[0] == runs[1]
+
+
+def test_worker_crash_requeues_batch_and_respawns():
+    """SIGKILLing one pool worker mid-fixpoint must not change the result:
+    the dead worker's batch is re-queued, the worker re-forked, and a
+    ``worker_respawn`` event (plus construction/encoding bumps) recorded —
+    no serial fallback."""
+    product = suite_product("s298")
+    baseline = SatCorrespondence(product, sim_frames=2, sim_width=1)
+    expected, _ = baseline.compute()
+    events = []
+    engine = ParallelSatCorrespondence(
+        product, refine_workers=2, refine_batch=1,
+        sim_frames=2, sim_width=1,
+        progress=lambda kind, **data: events.append((kind, data)))
+    engine._ensure_pool()
+    assert engine._pool is not None
+    victim = engine._pool._workers[0]
+    os.kill(victim.proc.pid, 9)
+    victim.proc.join(5.0)
+    classes, _ = engine.compute()
+    assert netsets(classes) == netsets(expected)
+    assert engine.stats["worker_respawns"] >= 1
+    respawns = [data for kind, data in events if kind == "worker_respawn"]
+    assert respawns and respawns[0]["worker"] == victim.index
+    assert not any(kind == "refinement_pool_fallback"
+                   for kind, _ in events)
+    # The rebuild is costed honestly: 1 master + 2 spawned + >=1 respawn.
+    assert engine.stats["solver_constructions"] >= 4
+    assert engine._pool is None  # compute() closed the pool

@@ -169,3 +169,13 @@ def test_sat_sweep_in_default_fuzz_battery():
     method, options = lanes["sat_sweep_par2"]
     assert method == "sat_sweep"
     assert options["refine_workers"] == 2
+    # And, where numpy imports, the matrix replay backend on the same pool.
+    from repro.netlist.simulate import _numpy
+
+    if _numpy() is not None:
+        method, options = lanes["sat_sweep_matrix"]
+        assert method == "sat_sweep"
+        assert options["sim_backend"] == "matrix"
+        assert options["refine_workers"] == 2
+    else:
+        assert "sat_sweep_matrix" not in lanes

@@ -1,0 +1,220 @@
+"""MatrixSim: the numpy lane-parallel backend must be bit-identical.
+
+``MatrixSim`` backs packed counterexample replay (the parallel engine's
+merge hot path) and is the ``auto`` :func:`make_sim` selection whenever
+numpy imports, so its contract is the same strict one ``CompiledSim``
+carries: for every circuit, every pattern word, both the scalar fast path
+and the forced matrix pass (``narrow_width = 0``) must agree with
+``bit_parallel_eval`` — including BUF/const aliasing and the missing-env
+``NetlistError`` categories.  These tests also pin backend selection:
+unknown names fail loudly, ``matrix`` without numpy fails loudly, and
+``auto`` falls back to ``CompiledSim`` silently.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cexsplit import replay_packed
+from repro.errors import NetlistError
+from repro.netlist import (
+    SIM_BACKENDS,
+    Circuit,
+    CompiledSim,
+    GateType,
+    bit_parallel_eval,
+    make_sim,
+)
+from repro.netlist import simulate
+from repro.netlist.simulate import MatrixSim, _numpy
+
+from .helpers import circuit_seeds, random_sequential_circuit, toggle_circuit
+
+pytestmark = pytest.mark.skipif(
+    _numpy() is None, reason="matrix backend requires numpy")
+
+
+def forced_matrix(circuit):
+    """A MatrixSim whose eval-shaped calls take the matrix pass, not the
+    embedded scalar kernel — the path plain usage never widens into."""
+    sim = MatrixSim(circuit)
+    sim.narrow_width = 0
+    return sim
+
+
+def random_env(circuit, rng, width):
+    return {
+        net: rng.getrandbits(width)
+        for net in list(circuit.inputs) + list(circuit.registers)
+    }
+
+
+# ------------------------------------------------------------ frame identity
+
+
+@settings(max_examples=40, deadline=None)
+@given(circuit_seeds, st.integers(min_value=0, max_value=2 ** 30),
+       st.sampled_from([1, 8, 64, 65, 150]))
+def test_matrix_matches_compiled_and_interpreter(seed, pattern_seed, width):
+    """Forced matrix pass == CompiledSim == bit_parallel_eval, bit for bit,
+    below, at, and across the 64-bit lane boundary."""
+    circuit = random_sequential_circuit(seed)
+    compiled = CompiledSim(circuit)
+    matrix = forced_matrix(circuit)
+    rng = random.Random(pattern_seed)
+    env = random_env(circuit, rng, width)
+    assert matrix.eval(env, width) == compiled.eval(env, width)
+    assert matrix.eval(env, width) == bit_parallel_eval(circuit, env, width)
+
+
+def test_default_narrow_width_routes_through_scalar_kernel():
+    """By default every eval-shaped call takes the embedded compiled
+    kernel (the measured fast path); the matrix pass is opt-in."""
+    sim = MatrixSim(toggle_circuit())
+    assert sim.narrow_width is None
+    assert sim._use_scalar(1) and sim._use_scalar(10 ** 6)
+    sim.narrow_width = 0
+    assert not sim._use_scalar(1)
+
+
+def test_buf_and_const_gates_alias_in_matrix_space():
+    c = Circuit("alias")
+    c.add_input("a")
+    c.add_gate("zero", GateType.CONST0, [])
+    c.add_gate("one", GateType.CONST1, [])
+    c.add_gate("buf", GateType.BUF, ["a"])
+    c.add_gate("inv", GateType.NOT, ["buf"])
+    c.add_gate("mix", GateType.OR, ["zero", "one", "buf"])
+    c.add_output("mix")
+    c.validate()
+    words = forced_matrix(c).eval({"a": 0b1010}, 4)
+    assert words == bit_parallel_eval(c, {"a": 0b1010}, 4)
+    assert words["zero"] == 0
+    assert words["one"] == 0b1111
+    assert words["buf"] == 0b1010
+    assert words["inv"] == 0b0101
+
+
+def test_matrix_masks_oversized_env_words():
+    words = forced_matrix(toggle_circuit()).eval({"en": 0xFF, "q": 0xFF}, 2)
+    assert all(word <= 0b11 for word in words.values())
+
+
+def test_slot_layout_is_shared_with_compiled():
+    circuit = random_sequential_circuit(5)
+    compiled = CompiledSim(circuit)
+    matrix = MatrixSim(circuit)
+    assert matrix.net_order == compiled.net_order
+    assert all(matrix.index(net) == compiled.index(net)
+               for net in matrix.net_order)
+    assert matrix.next_state_slots == compiled.next_state_slots
+
+
+# ------------------------------------------------------------ replay identity
+
+
+@settings(max_examples=20, deadline=None)
+@given(circuit_seeds, st.integers(min_value=0, max_value=2 ** 30),
+       st.integers(min_value=1, max_value=4))
+def test_matrix_replay_matches_compiled(seed, stim_seed, frames):
+    circuit = random_sequential_circuit(seed)
+    compiled = CompiledSim(circuit)
+    matrix = forced_matrix(circuit)
+    rng = random.Random(stim_seed)
+    initial = {net: rng.random() < 0.5 for net in circuit.registers}
+    stimulus = [
+        {net: rng.random() < 0.5 for net in circuit.inputs}
+        for _ in range(frames)
+    ]
+    assert matrix.replay(initial, stimulus) == compiled.replay(
+        initial, stimulus)
+
+
+@settings(max_examples=15, deadline=None)
+@given(circuit_seeds, st.integers(min_value=0, max_value=2 ** 30),
+       st.sampled_from([1, 64, 100]))
+def test_matrix_replay_packed_matches_generic(seed, stim_seed, n_patterns):
+    """``MatrixSim.replay_packed`` (vectorized transpose) must equal the
+    generic Python packing over ``CompiledSim``, on either side of the
+    delegation threshold."""
+    circuit = random_sequential_circuit(seed)
+    compiled = CompiledSim(circuit)
+    matrix = MatrixSim(circuit)
+    rng = random.Random(stim_seed)
+    frames = 2
+    patterns = [
+        (rng.getrandbits(len(compiled.registers)),
+         [rng.getrandbits(len(compiled.inputs)) for _ in range(frames)])
+        for _ in range(n_patterns)
+    ]
+    reference = replay_packed(compiled, patterns)
+    assert matrix.replay_packed(patterns) == reference
+    # The generic entry point delegates to the native method past a word's
+    # worth of patterns; either route must be invisible.
+    assert replay_packed(matrix, patterns) == reference
+
+
+def test_replay_packed_delegates_to_native_method_when_wide():
+    circuit = toggle_circuit()
+    matrix = MatrixSim(circuit)
+    calls = []
+    original = matrix.replay_packed
+
+    def spy(patterns):
+        calls.append(len(patterns))
+        return original(patterns)
+
+    matrix.replay_packed = spy
+    narrow = [(0, [1]) for _ in range(64)]
+    wide = [(0, [1]) for _ in range(65)]
+    replay_packed(matrix, narrow)
+    assert calls == []  # a word or less stays on the generic path
+    replay_packed(matrix, wide)
+    assert calls == [65]
+
+
+def test_matrix_replay_packed_rejects_ragged_frames():
+    with pytest.raises(ValueError):
+        MatrixSim(toggle_circuit()).replay_packed([(0, [0, 1]), (1, [0])])
+
+
+def test_matrix_replay_packed_empty_is_empty():
+    assert MatrixSim(toggle_circuit()).replay_packed([]) == []
+
+
+# ------------------------------------------------------------ error surfaces
+
+
+def test_missing_env_error_categories_match_compiled():
+    """The matrix backend reports missing env nets with the same category
+    naming as CompiledSim and the interpreter."""
+    for sim in (MatrixSim(toggle_circuit()), forced_matrix(toggle_circuit())):
+        with pytest.raises(NetlistError, match="input net 'en'"):
+            sim.eval({"q": 1}, 1)
+        with pytest.raises(NetlistError, match="register net 'q'"):
+            sim.eval({"en": 1}, 1)
+
+
+# ---------------------------------------------------------- backend selection
+
+
+def test_make_sim_selects_backends():
+    circuit = toggle_circuit()
+    assert make_sim(circuit, "compiled").backend == "compiled"
+    assert make_sim(circuit, "matrix").backend == "matrix"
+    assert make_sim(circuit, "auto").backend == "matrix"  # numpy present
+
+
+def test_make_sim_rejects_unknown_backend():
+    with pytest.raises(NetlistError, match="auto|compiled|matrix"):
+        make_sim(toggle_circuit(), "cuda")
+    assert SIM_BACKENDS == ("auto", "compiled", "matrix")
+
+
+def test_auto_falls_back_without_numpy(monkeypatch):
+    monkeypatch.setattr(simulate, "_NUMPY", None)
+    circuit = toggle_circuit()
+    assert make_sim(circuit, "auto").backend == "compiled"
+    with pytest.raises(NetlistError, match="requires numpy"):
+        make_sim(circuit, "matrix")

@@ -1,0 +1,216 @@
+"""StealPool: work-stealing dispatch, crash degradation, teardown hygiene.
+
+The pool is the substrate under both the parallel refinement engine and
+the FRAIG strategy racer, so its contract is tested on its own: batches
+complete in any stealing order with results in submission order, a
+SIGKILLed worker loses only its in-flight batch (re-queued, worker
+re-forked, setup re-sent), budget replies surface as
+:class:`ResourceBudgetExceeded`, handler errors as
+:class:`StealPoolError`, and ``close()`` leaves no children behind.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import ResourceBudgetExceeded
+from repro.service.procs import StealPool, StealPoolError
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="StealPool requires fork")
+
+
+class EchoHandler:
+    """Doubles batch payloads; optional per-payload behaviors for tests."""
+
+    def __init__(self, scale=2):
+        self.scale = scale
+        self.offset = 0
+
+    def setup(self, payload):
+        self.offset = payload
+
+    def batch(self, payload):
+        if payload == "boom":
+            raise RuntimeError("handler exploded")
+        if payload == "budget":
+            raise ResourceBudgetExceeded("out of budget")
+        if payload == "die":
+            os._exit(13)
+        if payload == "sleep":
+            time.sleep(0.2)
+            return "slept"
+        return payload * self.scale + self.offset
+
+
+def make_pool(n_workers=2, **kwargs):
+    return StealPool(n_workers, EchoHandler, (3,), **kwargs)
+
+
+def test_results_arrive_in_submission_order():
+    pool = make_pool(2)
+    try:
+        results = pool.run_batches(list(range(10)))
+    finally:
+        pool.close()
+    assert results == [i * 3 for i in range(10)]
+
+
+def test_broadcast_reaches_every_worker():
+    pool = make_pool(2)
+    try:
+        pool.broadcast(100)
+        results = pool.run_batches([1, 2, 3, 4])
+    finally:
+        pool.close()
+    assert results == [103, 106, 109, 112]
+
+
+def test_more_batches_than_workers_all_complete():
+    pool = make_pool(1)
+    try:
+        results = pool.run_batches(list(range(25)))
+    finally:
+        pool.close()
+    assert results == [i * 3 for i in range(25)]
+
+
+def test_on_result_streams_and_reports_worker_index():
+    pool = make_pool(2)
+    seen = []
+    try:
+        pool.run_batches(
+            [5, 6, 7],
+            on_result=lambda bid, value, wi: seen.append((bid, value, wi)))
+    finally:
+        pool.close()
+    assert {(bid, value) for bid, value, _ in seen} == {
+        (0, 15), (1, 18), (2, 21)}
+    assert all(0 <= wi < 2 for _, _, wi in seen)
+
+
+def test_truthy_on_result_stops_early():
+    pool = make_pool(2)
+    try:
+        results = pool.run_batches(
+            [1] + ["sleep"] * 4,
+            on_result=lambda bid, value, wi: value == 3)
+    finally:
+        pool.close()
+    assert results[0] == 3
+    # The undispatched tail and the abandoned in-flight sleep stay None.
+    assert results.count(None) >= 3
+
+
+def test_handler_error_raises_pool_error_with_traceback():
+    pool = make_pool(2)
+    try:
+        with pytest.raises(StealPoolError, match="handler exploded"):
+            pool.run_batches([1, "boom", 2])
+    finally:
+        pool.close()
+
+
+def test_budget_reply_raises_resource_budget():
+    pool = make_pool(2)
+    try:
+        with pytest.raises(ResourceBudgetExceeded, match="out of budget"):
+            pool.run_batches([1, "budget", 2])
+    finally:
+        pool.close()
+
+
+def test_poll_is_called_and_may_abort():
+    pool = make_pool(1)
+    calls = []
+
+    def poll():
+        calls.append(1)
+        if len(calls) > 2:
+            raise ResourceBudgetExceeded("polled out")
+
+    try:
+        with pytest.raises(ResourceBudgetExceeded, match="polled out"):
+            pool.run_batches(["sleep"] * 20, poll=poll)
+    finally:
+        pool.close()
+    assert calls
+
+
+# ------------------------------------------------------ crash / respawn path
+
+
+def test_worker_suicide_requeues_batch_and_respawns():
+    """An externally SIGKILLed worker loses nothing: its batch is
+    re-queued onto the respawned worker and every batch still completes
+    with the right result."""
+    respawned = []
+    pool = StealPool(2, EchoHandler, (3,),
+                     on_respawn=lambda wi: respawned.append(wi))
+    try:
+        # Everything completes even though one worker is killed externally
+        # mid-run: kill after dispatch has begun.
+        victim = pool._workers[0]
+        os.kill(victim.proc.pid, 9)
+        results = pool.run_batches(list(range(8)))
+    finally:
+        pool.close()
+    assert results == [i * 3 for i in range(8)]
+    assert respawned and respawned[0] == victim.index
+    assert pool.respawns >= 1
+
+
+def test_batch_that_always_kills_hits_respawn_limit():
+    pool = StealPool(1, EchoHandler, (3,), max_respawns=2)
+    try:
+        with pytest.raises(StealPoolError, match="respawn limit"):
+            pool.run_batches(["die"])
+    finally:
+        pool.close()
+    assert pool.respawns == 2
+
+
+def test_respawned_worker_receives_stored_setup():
+    respawned = []
+    pool = StealPool(1, EchoHandler, (3,),
+                     on_respawn=lambda wi: respawned.append(wi))
+    try:
+        pool.broadcast(1000)
+        os.kill(pool._workers[0].proc.pid, 9)
+        results = pool.run_batches([1, 2])
+    finally:
+        pool.close()
+    assert results == [1003, 1006]
+    assert respawned == [0]
+
+
+# ------------------------------------------------------------------- hygiene
+
+
+def test_close_reaps_children_and_is_idempotent():
+    pool = make_pool(2)
+    pids = [w.proc.pid for w in pool._workers]
+    procs = [w.proc for w in pool._workers]
+    pool.run_batches([1, 2])
+    pool.close()
+    pool.close()
+    assert all(not proc.is_alive() for proc in procs)
+    for pid in pids:
+        with pytest.raises(ProcessLookupError):
+            os.kill(pid, 0)
+
+
+def test_close_kills_worker_stuck_in_a_batch():
+    pool = make_pool(1)
+    proc = pool._workers[0].proc
+    # Dispatch a sleeping batch and abandon it via early stop on nothing:
+    # close() must SIGTERM the busy child.
+    pool._send(pool._workers[0], ("batch", 0, "sleep"))
+    pool.close()
+    assert not proc.is_alive()
+
+
+def test_pool_requires_at_least_one_worker():
+    with pytest.raises(ValueError, match=">= 1"):
+        StealPool(0, EchoHandler)

@@ -1,0 +1,101 @@
+"""Racing FRAIG strategies must never change what downstream engines see
+beyond *which sound reduction* they get.
+
+Every raced strategy's output is solver-certified merge by merge, so the
+properties to pin are: the winner is a real :class:`FraigReduction` that
+is bit-identical to the original circuit, ``race_fraig`` degrades to a
+serial inline run when the pool is unavailable, the ``info`` dict is
+honest about who raced and who won, and the ``fraig_sweep`` engine's
+verdict is unchanged by ``race_workers``.
+"""
+
+import random
+
+import pytest
+
+from repro.netlist import CompiledSim
+from repro.sweep import (
+    DEFAULT_RACE_STRATEGIES,
+    check_equivalence_fraig_sweep,
+    race_fraig,
+)
+from repro.sweep import race as race_module
+
+from ..netlist.helpers import random_sequential_circuit
+
+
+def random_frames(circuit, n_frames, rng):
+    return [
+        {net: rng.randint(0, 1) for net in circuit.inputs}
+        for _ in range(n_frames)
+    ]
+
+
+def test_race_winner_is_bit_identical_to_original():
+    circuit = random_sequential_circuit(7, n_inputs=3, n_regs=4, n_gates=18)
+    reduction, info = race_fraig(circuit, workers=2)
+    rng = random.Random(0xACE)
+    frames = random_frames(circuit, 6, rng)
+    orig = CompiledSim(circuit).replay(circuit.initial_state(), frames)
+    red = CompiledSim(reduction.reduced).replay(
+        reduction.reduced.initial_state(), frames)
+    for orig_frame, red_frame in zip(orig, red):
+        for net in circuit.outputs:
+            assert orig_frame[net] == red_frame[net]
+    assert info["strategy"] in info["raced"]
+    assert info["raced"] == [label for label, _ in DEFAULT_RACE_STRATEGIES]
+    assert info["seconds"] >= 0
+
+
+def test_race_info_reports_pool_size_or_serial_fallback():
+    circuit = random_sequential_circuit(3)
+    _, info = race_fraig(circuit, workers=2)
+    # On a fork-capable host the pool raced; otherwise the serial
+    # fallback is flagged with workers == 0.  Both are legal outcomes.
+    assert info["workers"] in (0, 2)
+
+
+def test_race_falls_back_serially_without_fork(monkeypatch):
+    monkeypatch.delattr(race_module.os, "fork", raising=False)
+    circuit = random_sequential_circuit(11)
+    reduction, info = race_fraig(circuit, workers=2)
+    assert info["workers"] == 0
+    assert info["strategy"] == DEFAULT_RACE_STRATEGIES[0][0]
+    assert reduction.reduced is not None
+
+
+def test_race_requires_a_strategy():
+    with pytest.raises(ValueError, match="at least one strategy"):
+        race_fraig(random_sequential_circuit(1), strategies=[])
+
+
+def test_single_strategy_race_matches_plain_reduce():
+    """With one strategy the race is just fraig_reduce in a child; the
+    reduction must match the serial run structurally (same merges)."""
+    from repro.sweep import fraig_reduce
+
+    circuit = random_sequential_circuit(19, n_gates=20)
+    strategies = [("only", {"sim_rounds": 4, "sim_width": 64})]
+    raced, info = race_fraig(circuit, strategies=strategies, workers=4)
+    serial = fraig_reduce(circuit, sim_rounds=4, sim_width=64)
+    assert info["strategy"] == "only"
+    assert raced.stats["merges"] == serial.stats["merges"]
+    assert raced.stats["ands_after"] == serial.stats["ands_after"]
+
+
+def test_fraig_sweep_verdict_unchanged_by_racing():
+    spec = random_sequential_circuit(23, n_inputs=3, n_regs=3, n_gates=14)
+    baseline = check_equivalence_fraig_sweep(spec, spec)
+    raced = check_equivalence_fraig_sweep(spec, spec, race_workers=2)
+    assert baseline.equivalent is True
+    assert raced.equivalent is True
+    assert raced.method == "fraig_sweep"
+    race_info = raced.details["fraig"].get("race")
+    assert race_info is not None
+    assert set(race_info) == {"spec", "impl"}
+
+
+def test_fraig_sweep_rejects_negative_race_workers():
+    spec = random_sequential_circuit(2)
+    with pytest.raises(ValueError, match="race_workers"):
+        check_equivalence_fraig_sweep(spec, spec, race_workers=-1)
